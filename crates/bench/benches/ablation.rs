@@ -1,0 +1,72 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! partial vs full weights for the proximity matrix (server-side cost),
+//! linkage criteria, and warm-up depth. The companion *quality* ablation
+//! (ARI of each choice) runs as an integration test in `tests/ablation.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedclust::clustering::{cluster_clients, LambdaSelect};
+use fedclust::proximity::{collect_partial_weights, proximity_matrix, WeightSelection};
+use fedclust_cluster::hac::Linkage;
+use fedclust_data::{DatasetProfile, FederatedDataset};
+use fedclust_fl::engine::init_model;
+use fedclust_fl::FlConfig;
+use fedclust_tensor::distance::Metric;
+
+fn setup() -> (FederatedDataset, FlConfig) {
+    let groups: Vec<Vec<usize>> = (0..10)
+        .map(|c| if c < 5 { (0..5).collect() } else { (5..10).collect() })
+        .collect();
+    let fd = FederatedDataset::build_grouped(
+        DatasetProfile::FmnistLike,
+        &groups,
+        &fedclust_data::federated::FederatedConfig {
+            num_clients: 10,
+            samples_per_class: 30,
+            train_fraction: 0.8,
+            seed: 3,
+        },
+    );
+    let cfg = FlConfig::tiny(3);
+    (fd, cfg)
+}
+
+/// Server-side cost of building the proximity matrix from partial vs full
+/// weights — the computation FedClust's §4.1 argues should stay small.
+fn bench_weight_selection(c: &mut Criterion) {
+    let (fd, cfg) = setup();
+    let template = init_model(&fd, &cfg);
+    let init = template.state_vec();
+    let partial =
+        collect_partial_weights(&fd, &cfg, &template, &init, 1, WeightSelection::FinalLayer);
+    let full = collect_partial_weights(&fd, &cfg, &template, &init, 1, WeightSelection::FullModel);
+
+    let mut g = c.benchmark_group("proximity_build");
+    g.sample_size(30);
+    g.bench_function("final_layer", |b| {
+        b.iter(|| proximity_matrix(&partial, Metric::L2))
+    });
+    g.bench_function("full_model", |b| b.iter(|| proximity_matrix(&full, Metric::L2)));
+    g.finish();
+}
+
+/// Cost of the HC step under each linkage criterion.
+fn bench_linkage(c: &mut Criterion) {
+    let (fd, cfg) = setup();
+    let template = init_model(&fd, &cfg);
+    let init = template.state_vec();
+    let weights =
+        collect_partial_weights(&fd, &cfg, &template, &init, 1, WeightSelection::FinalLayer);
+    let matrix = proximity_matrix(&weights, Metric::L2);
+
+    let mut g = c.benchmark_group("hc_linkage");
+    g.sample_size(30);
+    for linkage in Linkage::ALL {
+        g.bench_function(linkage.tag(), |b| {
+            b.iter(|| cluster_clients(&matrix, linkage, LambdaSelect::AutoGap))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_weight_selection, bench_linkage);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end cost of one small federated run per method — the relative
+//! per-round cost profile (e.g. IFCA's k-model evaluation overhead,
+//! FedClust's negligible clustering overhead vs FedAvg) in one chart.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedclust::FedClust;
+use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
+use fedclust_fl::methods::{Cfl, FedAvg, FedProx, Ifca, Pacfl};
+use fedclust_fl::{FlConfig, FlMethod};
+
+fn tiny_setup() -> (FederatedDataset, FlConfig) {
+    let fd = FederatedDataset::build(
+        DatasetProfile::FmnistLike,
+        Partition::LabelSkew { fraction: 0.3 },
+        &fedclust_data::federated::FederatedConfig {
+            num_clients: 8,
+            samples_per_class: 30,
+            train_fraction: 0.8,
+            seed: 9,
+        },
+    );
+    let mut cfg = FlConfig::tiny(9);
+    cfg.rounds = 2;
+    (fd, cfg)
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let (fd, cfg) = tiny_setup();
+    let mut g = c.benchmark_group("fl_run_2rounds_8clients");
+    g.sample_size(10);
+    let methods: Vec<(&str, Box<dyn FlMethod>)> = vec![
+        ("fedavg", Box::new(FedAvg)),
+        ("fedprox", Box::new(FedProx::default())),
+        ("cfl", Box::new(Cfl::default())),
+        ("ifca", Box::new(Ifca { k: 3 })),
+        ("pacfl", Box::new(Pacfl::default())),
+        ("fedclust", Box::new(FedClust::default())),
+    ];
+    for (name, method) in &methods {
+        g.bench_function(*name, |b| b.iter(|| method.run(&fd, &cfg)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

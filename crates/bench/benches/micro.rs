@@ -1,0 +1,78 @@
+//! Microbenchmarks of the numerical substrate: GEMM, im2col convolution,
+//! softmax, SVD, proximity matrices and hierarchical clustering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedclust_cluster::hac::{agglomerative, Linkage};
+use fedclust_cluster::ProximityMatrix;
+use fedclust_tensor::conv::{im2col, Conv2dGeom};
+use fedclust_tensor::distance::{pairwise_matrix, Metric};
+use fedclust_tensor::linalg::svd;
+use fedclust_tensor::matmul::matmul;
+use fedclust_tensor::ops::softmax_rows;
+use fedclust_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+
+fn random(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape.to_vec(), (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = random(&[n, n], 1);
+        let b = random(&[n, n], 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let geom = Conv2dGeom {
+        in_channels: 3,
+        in_h: 16,
+        in_w: 16,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let img = random(&[3, 16, 16], 3);
+    c.bench_function("im2col_3x16x16_k3", |b| b.iter(|| im2col(&img, &geom)));
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let logits = random(&[64, 10], 4);
+    c.bench_function("softmax_64x10", |b| b.iter(|| softmax_rows(&logits)));
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let a = random(&[128, 16], 5);
+    c.bench_function("svd_128x16", |b| b.iter(|| svd(&a)));
+}
+
+fn bench_proximity_and_hac(c: &mut Criterion) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+    // 100 clients × final-layer-sized weight vectors (LeNet head ≈ 250).
+    let vectors: Vec<Vec<f32>> = (0..100)
+        .map(|_| (0..250).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    c.bench_function("proximity_matrix_100x250", |b| {
+        b.iter(|| pairwise_matrix(&vectors, Metric::L2))
+    });
+    let full = pairwise_matrix(&vectors, Metric::L2);
+    let m = ProximityMatrix::from_full(100, full);
+    c.bench_function("hac_average_100", |b| {
+        b.iter(|| agglomerative(&m, Linkage::Average))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_im2col, bench_softmax, bench_svd, bench_proximity_and_hac
+}
+criterion_main!(benches);

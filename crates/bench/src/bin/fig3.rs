@@ -1,0 +1,13 @@
+//! Fig. 3: test accuracy versus communication rounds for non-IID label
+//! skew (20 %), one series per method per dataset. Shares the cached grid
+//! with `table1` and `table4`.
+
+use fedclust_bench::runner::run_grid;
+use fedclust_bench::tables::fig3_series;
+use fedclust_data::Partition;
+
+fn main() {
+    let grid = run_grid(Partition::LabelSkew { fraction: 0.2 });
+    println!("Fig. 3: Test accuracy vs communication rounds (Non-IID label skew 20%)\n");
+    print!("{}", fig3_series(&grid));
+}

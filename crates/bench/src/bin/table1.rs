@@ -1,0 +1,16 @@
+//! Table 1: test accuracy of all methods under non-IID label skew (20 %).
+
+use fedclust_bench::runner::run_grid;
+use fedclust_bench::tables::accuracy_table;
+use fedclust_data::Partition;
+
+fn main() {
+    let grid = run_grid(Partition::LabelSkew { fraction: 0.2 });
+    print!(
+        "{}",
+        accuracy_table(
+            &grid,
+            "Table 1: Test accuracy (%) for Non-IID label skew (20%)"
+        )
+    );
+}

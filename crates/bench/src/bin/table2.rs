@@ -1,0 +1,16 @@
+//! Table 2: test accuracy of all methods under non-IID label skew (30 %).
+
+use fedclust_bench::runner::run_grid;
+use fedclust_bench::tables::accuracy_table;
+use fedclust_data::Partition;
+
+fn main() {
+    let grid = run_grid(Partition::LabelSkew { fraction: 0.3 });
+    print!(
+        "{}",
+        accuracy_table(
+            &grid,
+            "Table 2: Test accuracy (%) for Non-IID label skew (30%)"
+        )
+    );
+}

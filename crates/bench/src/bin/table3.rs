@@ -1,0 +1,13 @@
+//! Table 3: test accuracy of all methods under non-IID Dirichlet (0.1).
+
+use fedclust_bench::runner::run_grid;
+use fedclust_bench::tables::accuracy_table;
+use fedclust_data::Partition;
+
+fn main() {
+    let grid = run_grid(Partition::Dirichlet { alpha: 0.1 });
+    print!(
+        "{}",
+        accuracy_table(&grid, "Table 3: Test accuracy (%) for Non-IID Dir (0.1)")
+    );
+}

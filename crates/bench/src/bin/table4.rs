@@ -1,0 +1,18 @@
+//! Table 4: communication rounds needed to reach the target accuracy
+//! under non-IID label skew (20 %). Shares the cached grid with `table1`
+//! and `fig3`.
+
+use fedclust_bench::runner::run_grid;
+use fedclust_bench::tables::rounds_table;
+use fedclust_data::Partition;
+
+fn main() {
+    let grid = run_grid(Partition::LabelSkew { fraction: 0.2 });
+    print!(
+        "{}",
+        rounds_table(
+            &grid,
+            "Table 4: Rounds to reach target top-1 average local test accuracy (Non-IID 20%)"
+        )
+    );
+}

@@ -1,0 +1,17 @@
+//! Table 5: communication cost (Mb) needed to reach the target accuracy
+//! under non-IID label skew (30 %). Shares the cached grid with `table2`.
+
+use fedclust_bench::runner::run_grid;
+use fedclust_bench::tables::comm_table;
+use fedclust_data::Partition;
+
+fn main() {
+    let grid = run_grid(Partition::LabelSkew { fraction: 0.3 });
+    print!(
+        "{}",
+        comm_table(
+            &grid,
+            "Table 5: Communication cost (Mb) to reach target accuracy (Non-IID label skew 30%)"
+        )
+    );
+}

@@ -1,0 +1,28 @@
+//! # fedclust-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation (§5) at reproduction scale:
+//!
+//! | Binary   | Paper artefact | Output |
+//! |----------|----------------|--------|
+//! | `table1` | Table 1 | accuracy, non-IID label skew 20 % |
+//! | `table2` | Table 2 | accuracy, non-IID label skew 30 % |
+//! | `table3` | Table 3 | accuracy, non-IID Dir(0.1) |
+//! | `table4` | Table 4 | rounds to target accuracy (skew 20 %) |
+//! | `table5` | Table 5 | communication Mb to target accuracy (skew 30 %) |
+//! | `table6` | Table 6 | newcomer client accuracy (skew 20 %) |
+//! | `fig1`   | Fig. 1  | layer-wise client distance matrices |
+//! | `fig3`   | Fig. 3  | accuracy vs rounds series (skew 20 %) |
+//! | `fig4`   | Fig. 4  | accuracy & #clusters vs λ |
+//!
+//! Grid runs are cached as JSON under `results/`, so `table1`, `table4`
+//! and `fig3` (which share the skew-20 grid) only pay for training once.
+//! Set `FEDCLUST_REFRESH=1` to recompute, `FEDCLUST_FAST=1` for a quick
+//! smoke-scale pass, and `FEDCLUST_SEEDS=n` to change the seed count.
+
+pub mod runner;
+pub mod scale;
+pub mod tables;
+
+pub use runner::{run_grid, GridEntry, GridResults};
+pub use scale::Scale;

@@ -1,0 +1,87 @@
+//! Reproduction-scale experiment settings.
+//!
+//! The paper runs 100 clients / 10 % sampling / 200 rounds / 10 local
+//! epochs on a GPU server. This reproduction's benchmarks default to a
+//! single-CPU-core budget; EXPERIMENTS.md lists both parameter sets side
+//! by side. `FEDCLUST_FAST=1` shrinks everything further for smoke tests.
+
+use fedclust_data::federated::FederatedConfig;
+use fedclust_data::DatasetProfile;
+use fedclust_fl::FlConfig;
+use fedclust_nn::models::ModelSpec;
+
+/// Scale profile for one dataset's experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Dataset build settings.
+    pub federated: FederatedConfig,
+    /// FL loop settings.
+    pub fl: FlConfig,
+}
+
+fn fast() -> bool {
+    std::env::var("FEDCLUST_FAST").map_or(false, |v| v == "1")
+}
+
+/// Seeds for mean ± std aggregation (paper: 3 runs). Override with
+/// `FEDCLUST_SEEDS=n`.
+pub fn seeds() -> Vec<u64> {
+    let n: usize = std::env::var("FEDCLUST_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if fast() { 1 } else { 2 });
+    (0..n as u64).map(|i| 42 + 1000 * i).collect()
+}
+
+impl Scale {
+    /// The benchmark scale for one dataset profile.
+    pub fn for_profile(profile: DatasetProfile, seed: u64) -> Scale {
+        let f = fast();
+        match profile {
+            DatasetProfile::Cifar100Like => Scale {
+                // ResNet-9 is ~10× a LeNet step, so the CIFAR-100 column
+                // runs fewer, smaller rounds.
+                federated: FederatedConfig {
+                    num_clients: if f { 10 } else { 40 },
+                    samples_per_class: if f { 20 } else { 50 },
+                    train_fraction: 0.8,
+                    seed,
+                },
+                fl: FlConfig {
+                    model: ModelSpec::ResNet9,
+                    rounds: if f { 2 } else { 20 },
+                    sample_rate: 0.25,
+                    local_epochs: 3,
+                    batch_size: 10,
+                    lr: 0.05,
+                    momentum: 0.9,
+                    weight_decay: 0.0,
+                    eval_every: 2,
+                    seed,
+                    dropout_rate: 0.0,
+                },
+            },
+            _ => Scale {
+                federated: FederatedConfig {
+                    num_clients: if f { 10 } else { 50 },
+                    samples_per_class: if f { 20 } else { 120 },
+                    train_fraction: 0.8,
+                    seed,
+                },
+                fl: FlConfig {
+                    model: ModelSpec::LeNet5,
+                    rounds: if f { 3 } else { 24 },
+                    sample_rate: 0.2,
+                    local_epochs: if f { 1 } else { 3 },
+                    batch_size: 10,
+                    lr: 0.05,
+                    momentum: 0.9,
+                    weight_decay: 0.0,
+                    eval_every: 2,
+                    seed,
+                    dropout_rate: 0.0,
+                },
+            },
+        }
+    }
+}

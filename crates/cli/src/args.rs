@@ -1,0 +1,242 @@
+//! Command-line argument parsing (no external dependencies).
+
+/// The subcommand to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one FL method end to end.
+    Run {
+        /// Method name (case-insensitive).
+        method: String,
+    },
+    /// Run only FedClust's one-shot clustering and print the assignment.
+    Cluster,
+    /// Sweep the clustering threshold λ (Fig. 4 style).
+    Sweep {
+        /// Number of λ grid points.
+        points: usize,
+    },
+    /// List available methods.
+    Methods,
+}
+
+/// Parsed command-line arguments with defaults suitable for a quick run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// What to do.
+    pub command: Command,
+    /// Dataset name (`cifar10`, `cifar100`, `fmnist`, `svhn`).
+    pub dataset: String,
+    /// Partition spec (`iid`, `skewNN`, `dirX.X`).
+    pub partition: String,
+    /// Number of clients.
+    pub clients: usize,
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Local epochs.
+    pub epochs: usize,
+    /// Client sampling rate per round.
+    pub sample_rate: f32,
+    /// Pool samples per class.
+    pub samples_per_class: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Client dropout probability.
+    pub dropout: f32,
+    /// Emit machine-readable JSON instead of text (run subcommand).
+    pub json: bool,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Usage text printed on `--help` or a parse error.
+pub const USAGE: &str = "\
+fedclust-cli — FedClust reproduction command line
+
+USAGE:
+  fedclust-cli run --method <name> [options]
+  fedclust-cli cluster [options]
+  fedclust-cli sweep [--points N] [options]
+  fedclust-cli methods
+
+OPTIONS:
+  --dataset <cifar10|cifar100|fmnist|svhn>   (default cifar10)
+  --partition <iid|skewNN|dirX.X>            (default skew20)
+  --clients <N>             number of clients          (default 20)
+  --rounds <N>              communication rounds       (default 8)
+  --epochs <N>              local epochs               (default 3)
+  --sample-rate <F>         clients sampled per round  (default 0.25)
+  --samples-per-class <N>   pool size per class        (default 100)
+  --seed <N>                root seed                  (default 42)
+  --dropout <F>             client dropout probability (default 0)
+  --json                    machine-readable output (run)
+";
+
+impl Args {
+    fn defaults(command: Command) -> Args {
+        Args {
+            command,
+            dataset: "cifar10".into(),
+            partition: "skew20".into(),
+            clients: 20,
+            rounds: 8,
+            epochs: 3,
+            sample_rate: 0.25,
+            samples_per_class: 100,
+            seed: 42,
+            dropout: 0.0,
+            json: false,
+        }
+    }
+
+    /// Parse a raw argument list (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
+        let mut it = argv.iter().peekable();
+        let sub = it
+            .next()
+            .ok_or_else(|| ParseError("missing subcommand".into()))?;
+        let mut args = match sub.as_str() {
+            "run" => Args::defaults(Command::Run {
+                method: String::new(),
+            }),
+            "cluster" => Args::defaults(Command::Cluster),
+            "sweep" => Args::defaults(Command::Sweep { points: 6 }),
+            "methods" => Args::defaults(Command::Methods),
+            "--help" | "-h" | "help" => return Err(ParseError(USAGE.into())),
+            other => return Err(ParseError(format!("unknown subcommand '{}'\n{}", other, USAGE))),
+        };
+
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, ParseError> {
+                it.next()
+                    .ok_or_else(|| ParseError(format!("{} requires a value", name)))
+            };
+            match flag.as_str() {
+                "--method" => {
+                    let v = value("--method")?.clone();
+                    if let Command::Run { method } = &mut args.command {
+                        *method = v;
+                    } else {
+                        return Err(ParseError("--method only applies to `run`".into()));
+                    }
+                }
+                "--points" => {
+                    let v: usize = parse_num(value("--points")?, "--points")?;
+                    if let Command::Sweep { points } = &mut args.command {
+                        *points = v.max(2);
+                    } else {
+                        return Err(ParseError("--points only applies to `sweep`".into()));
+                    }
+                }
+                "--dataset" => args.dataset = value("--dataset")?.clone(),
+                "--partition" => args.partition = value("--partition")?.clone(),
+                "--clients" => args.clients = parse_num(value("--clients")?, "--clients")?,
+                "--rounds" => args.rounds = parse_num(value("--rounds")?, "--rounds")?,
+                "--epochs" => args.epochs = parse_num(value("--epochs")?, "--epochs")?,
+                "--sample-rate" => {
+                    args.sample_rate = parse_num(value("--sample-rate")?, "--sample-rate")?
+                }
+                "--samples-per-class" => {
+                    args.samples_per_class =
+                        parse_num(value("--samples-per-class")?, "--samples-per-class")?
+                }
+                "--seed" => args.seed = parse_num(value("--seed")?, "--seed")?,
+                "--dropout" => args.dropout = parse_num(value("--dropout")?, "--dropout")?,
+                "--json" => args.json = true,
+                other => {
+                    return Err(ParseError(format!("unknown option '{}'\n{}", other, USAGE)))
+                }
+            }
+        }
+        if let Command::Run { method } = &args.command {
+            if method.is_empty() {
+                return Err(ParseError("`run` requires --method <name>".into()));
+            }
+        }
+        if args.clients == 0 || args.rounds == 0 || args.epochs == 0 {
+            return Err(ParseError("clients, rounds and epochs must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&args.dropout) {
+            return Err(ParseError("--dropout must be in [0, 1]".into()));
+        }
+        if !(0.0 < args.sample_rate && args.sample_rate <= 1.0) {
+            return Err(ParseError("--sample-rate must be in (0, 1]".into()));
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("invalid value '{}' for {}", s, flag)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_requires_method() {
+        assert!(Args::parse(&argv(&["run"])).is_err());
+        let a = Args::parse(&argv(&["run", "--method", "fedclust"])).unwrap();
+        assert_eq!(a.command, Command::Run { method: "fedclust".into() });
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let a = Args::parse(&argv(&["cluster"])).unwrap();
+        assert_eq!(a.dataset, "cifar10");
+        assert_eq!(a.partition, "skew20");
+        assert_eq!(a.clients, 20);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn options_override_defaults() {
+        let a = Args::parse(&argv(&[
+            "run", "--method", "fedavg", "--clients", "7", "--rounds", "3", "--seed", "9",
+            "--dropout", "0.25", "--json",
+        ]))
+        .unwrap();
+        assert_eq!(a.clients, 7);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.seed, 9);
+        assert!((a.dropout - 0.25).abs() < 1e-6);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn sweep_points_and_misplaced_flags() {
+        let a = Args::parse(&argv(&["sweep", "--points", "8"])).unwrap();
+        assert_eq!(a.command, Command::Sweep { points: 8 });
+        assert!(Args::parse(&argv(&["cluster", "--points", "8"])).is_err());
+        assert!(Args::parse(&argv(&["cluster", "--method", "x"])).is_err());
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        assert!(Args::parse(&argv(&["run", "--method", "x", "--clients", "zero"])).is_err());
+        assert!(Args::parse(&argv(&["run", "--method", "x", "--clients", "0"])).is_err());
+        assert!(Args::parse(&argv(&["run", "--method", "x", "--dropout", "1.5"])).is_err());
+        assert!(Args::parse(&argv(&["run", "--method", "x", "--sample-rate", "0"])).is_err());
+        assert!(Args::parse(&argv(&["frobnicate"])).is_err());
+        assert!(Args::parse(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = Args::parse(&argv(&["--help"])).unwrap_err();
+        assert!(err.0.contains("USAGE"));
+    }
+}

@@ -1,0 +1,262 @@
+//! # fedclust-cli
+//!
+//! A small dependency-free command-line front end for the FedClust
+//! reproduction. Everything argument-parsing lives here (testable); the
+//! binary in `main.rs` is a thin shell.
+//!
+//! ```text
+//! fedclust-cli run     --method fedclust --dataset cifar10 --partition skew20
+//! fedclust-cli cluster --dataset fmnist --partition skew20 --clients 30
+//! fedclust-cli sweep   --dataset svhn --points 6
+//! fedclust-cli methods
+//! ```
+
+use fedclust::FedClust;
+use fedclust_cluster::metrics::adjusted_rand_index;
+use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
+use fedclust_fl::methods::{baselines, extended_baselines, FlMethod};
+use fedclust_fl::FlConfig;
+
+pub mod args;
+
+pub use args::{Args, Command, ParseError};
+
+/// Look up a method by case-insensitive name among the nine baselines, the
+/// extended suite, and FedClust itself.
+pub fn find_method(name: &str) -> Option<Box<dyn FlMethod>> {
+    let mut methods = baselines();
+    methods.extend(extended_baselines());
+    methods.push(Box::new(FedClust::default()));
+    methods
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+/// Names of all available methods.
+pub fn method_names() -> Vec<&'static str> {
+    let mut methods = baselines();
+    methods.extend(extended_baselines());
+    methods.push(Box::new(FedClust::default()));
+    methods.iter().map(|m| m.name()).collect()
+}
+
+/// Parse a dataset name.
+pub fn parse_dataset(name: &str) -> Option<DatasetProfile> {
+    match name.to_ascii_lowercase().as_str() {
+        "cifar10" | "cifar-10" => Some(DatasetProfile::Cifar10Like),
+        "cifar100" | "cifar-100" => Some(DatasetProfile::Cifar100Like),
+        "fmnist" => Some(DatasetProfile::FmnistLike),
+        "svhn" => Some(DatasetProfile::SvhnLike),
+        _ => None,
+    }
+}
+
+/// Parse a partition spec: `iid`, `skewNN` (percent), or `dirX.X` (alpha).
+pub fn parse_partition(spec: &str) -> Option<Partition> {
+    let s = spec.to_ascii_lowercase();
+    if s == "iid" {
+        return Some(Partition::Iid);
+    }
+    if let Some(rest) = s.strip_prefix("skew") {
+        let pct: f32 = rest.parse().ok()?;
+        if (0.0..=100.0).contains(&pct) {
+            return Some(Partition::LabelSkew {
+                fraction: pct / 100.0,
+            });
+        }
+        return None;
+    }
+    if let Some(rest) = s.strip_prefix("dir") {
+        let alpha: f32 = rest.parse().ok()?;
+        if alpha > 0.0 {
+            return Some(Partition::Dirichlet { alpha });
+        }
+    }
+    None
+}
+
+/// Execute a parsed command; returns the text to print.
+pub fn execute(args: &Args) -> Result<String, String> {
+    match &args.command {
+        Command::Methods => Ok(format!("available methods: {}", method_names().join(", "))),
+        Command::Run { method } => {
+            let m = find_method(method)
+                .ok_or_else(|| format!("unknown method '{}'; try `fedclust-cli methods`", method))?;
+            let fd = build_dataset(args)?;
+            let cfg = build_config(args);
+            let result = m.run(&fd, &cfg);
+            if args.json {
+                serde_json::to_string_pretty(&result).map_err(|e| e.to_string())
+            } else {
+                let mut out = format!(
+                    "{}: final accuracy {:.2}% over {} clients, {:.2} Mb total",
+                    result.method,
+                    result.final_acc * 100.0,
+                    fd.num_clients(),
+                    result.total_mb
+                );
+                if let Some(k) = result.num_clusters {
+                    out.push_str(&format!(", {} clusters", k));
+                }
+                for r in &result.history {
+                    out.push_str(&format!(
+                        "\n  round {:>3}: {:.2}% ({:.2} Mb)",
+                        r.round,
+                        r.avg_acc * 100.0,
+                        r.cum_mb
+                    ));
+                }
+                Ok(out)
+            }
+        }
+        Command::Cluster => {
+            let fd = build_dataset(args)?;
+            let cfg = build_config(args);
+            let method = FedClust::default();
+            let (_, federation) = method.run_detailed(&fd, &cfg);
+            let truth = fd.ground_truth_groups();
+            let ari = adjusted_rand_index(&federation.labels, &truth);
+            let mut out = format!(
+                "one-shot clustering: {} clusters at λ = {:.4} (ARI vs label-set ground truth: {:.3})\n",
+                federation.outcome.num_clusters, federation.outcome.lambda, ari
+            );
+            out.push_str(&format!("assignment: {:?}", federation.labels));
+            Ok(out)
+        }
+        Command::Sweep { points } => {
+            let fd = build_dataset(args)?;
+            let cfg = build_config(args);
+            let method = FedClust::default();
+            let grid = fedclust::lambda_sweep::lambda_grid(&fd, &cfg, &method, *points);
+            let sweep = fedclust::lambda_sweep::sweep(&fd, &cfg, &method, &grid);
+            let mut out = String::from("lambda     clusters   accuracy\n");
+            for p in &sweep {
+                out.push_str(&format!(
+                    "{:<10.4} {:<10} {:.2}%\n",
+                    p.lambda,
+                    p.num_clusters,
+                    p.final_acc * 100.0
+                ));
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn build_dataset(args: &Args) -> Result<FederatedDataset, String> {
+    let profile =
+        parse_dataset(&args.dataset).ok_or_else(|| format!("unknown dataset '{}'", args.dataset))?;
+    let partition = parse_partition(&args.partition)
+        .ok_or_else(|| format!("unknown partition '{}'", args.partition))?;
+    Ok(FederatedDataset::build(
+        profile,
+        partition,
+        &fedclust_data::federated::FederatedConfig {
+            num_clients: args.clients,
+            samples_per_class: args.samples_per_class,
+            train_fraction: 0.8,
+            seed: args.seed,
+        },
+    ))
+}
+
+fn build_config(args: &Args) -> FlConfig {
+    FlConfig {
+        model: if args.dataset.to_ascii_lowercase().starts_with("cifar100") {
+            fedclust_nn::models::ModelSpec::ResNet9
+        } else {
+            fedclust_nn::models::ModelSpec::LeNet5
+        },
+        rounds: args.rounds,
+        sample_rate: args.sample_rate,
+        local_epochs: args.epochs,
+        batch_size: 10,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        eval_every: 2,
+        seed: args.seed,
+        dropout_rate: args.dropout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_methods_are_findable() {
+        for name in [
+            "Local", "FedAvg", "FedProx", "FedNova", "LG", "PerFedAvg", "CFL", "IFCA", "PACFL",
+            "FedClust", "SCAFFOLD", "FedDyn",
+        ] {
+            assert!(find_method(name).is_some(), "missing {}", name);
+            assert!(find_method(&name.to_lowercase()).is_some(), "case-insensitive {}", name);
+        }
+        assert!(find_method("nope").is_none());
+    }
+
+    #[test]
+    fn dataset_parsing() {
+        assert_eq!(parse_dataset("cifar10"), Some(DatasetProfile::Cifar10Like));
+        assert_eq!(parse_dataset("CIFAR-100"), Some(DatasetProfile::Cifar100Like));
+        assert_eq!(parse_dataset("fmnist"), Some(DatasetProfile::FmnistLike));
+        assert_eq!(parse_dataset("svhn"), Some(DatasetProfile::SvhnLike));
+        assert_eq!(parse_dataset("mnist"), None);
+    }
+
+    #[test]
+    fn partition_parsing() {
+        assert_eq!(parse_partition("iid"), Some(Partition::Iid));
+        assert_eq!(
+            parse_partition("skew20"),
+            Some(Partition::LabelSkew { fraction: 0.2 })
+        );
+        assert_eq!(
+            parse_partition("dir0.1"),
+            Some(Partition::Dirichlet { alpha: 0.1 })
+        );
+        assert_eq!(parse_partition("skew200"), None);
+        assert_eq!(parse_partition("dir-1"), None);
+        assert_eq!(parse_partition("banana"), None);
+    }
+
+    #[test]
+    fn execute_methods_lists_everything() {
+        let args = Args::parse(&["methods".into()]).unwrap();
+        let out = execute(&args).unwrap();
+        assert!(out.contains("FedClust"));
+        assert!(out.contains("SCAFFOLD"));
+    }
+
+    #[test]
+    fn execute_tiny_run() {
+        let args = Args::parse(&[
+            "run".into(),
+            "--method".into(),
+            "fedavg".into(),
+            "--dataset".into(),
+            "fmnist".into(),
+            "--partition".into(),
+            "skew50".into(),
+            "--clients".into(),
+            "4".into(),
+            "--rounds".into(),
+            "1".into(),
+            "--epochs".into(),
+            "1".into(),
+            "--samples-per-class".into(),
+            "10".into(),
+        ])
+        .unwrap();
+        let out = execute(&args).unwrap();
+        assert!(out.contains("FedAvg"), "{}", out);
+        assert!(out.contains("final accuracy"), "{}", out);
+    }
+
+    #[test]
+    fn execute_run_rejects_unknown_method() {
+        let args = Args::parse(&["run".into(), "--method".into(), "nope".into()]).unwrap();
+        assert!(execute(&args).is_err());
+    }
+}

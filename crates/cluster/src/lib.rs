@@ -1,0 +1,19 @@
+//! # fedclust-cluster
+//!
+//! Agglomerative hierarchical clustering and cluster-quality metrics — the
+//! server-side machinery of FedClust's one-shot clustering step
+//! (Algorithm 1 of the paper) and of the PACFL baseline.
+//!
+//! * [`proximity::ProximityMatrix`] — a symmetric pairwise-distance matrix,
+//! * [`hac`] — bottom-up agglomerative clustering with single / complete /
+//!   average / Ward linkage (Lance–Williams updates), threshold (λ) and
+//!   k-cluster cuts, and dendrogram export,
+//! * [`metrics`] — adjusted Rand index, normalised mutual information and
+//!   purity, used to validate recovered clusters against ground truth.
+
+pub mod hac;
+pub mod metrics;
+pub mod proximity;
+
+pub use hac::{Dendrogram, Linkage};
+pub use proximity::ProximityMatrix;

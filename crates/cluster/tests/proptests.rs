@@ -1,0 +1,108 @@
+//! Property-based tests of the hierarchical clustering machinery.
+
+use fedclust_cluster::hac::{agglomerative, Linkage};
+use fedclust_cluster::metrics::mean_silhouette;
+use fedclust_cluster::ProximityMatrix;
+use proptest::prelude::*;
+
+fn point_matrix(points: &[f32]) -> ProximityMatrix {
+    ProximityMatrix::from_fn(points.len(), |i, j| (points[i] - points[j]).abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every cut of a dendrogram is a valid partition: labels are compact
+    /// 0-based ids and k-cuts produce exactly k clusters.
+    #[test]
+    fn cuts_are_valid_partitions(
+        points in proptest::collection::vec(-100.0f32..100.0, 2..12),
+        linkage_idx in 0usize..4,
+    ) {
+        let linkage = Linkage::ALL[linkage_idx];
+        let m = point_matrix(&points);
+        let d = agglomerative(&m, linkage);
+        for k in 1..=points.len() {
+            let labels = d.cut_k(k);
+            prop_assert_eq!(labels.len(), points.len());
+            let max = labels.iter().copied().max().unwrap();
+            prop_assert_eq!(max + 1, k, "cut_k({}) produced {} clusters", k, max + 1);
+            // Compactness: every id below max appears.
+            for id in 0..=max {
+                prop_assert!(labels.contains(&id));
+            }
+        }
+    }
+
+    /// Merge distances are non-decreasing for all Lance–Williams linkages
+    /// on metric (1-d) data.
+    #[test]
+    fn merges_are_monotone(
+        points in proptest::collection::vec(-100.0f32..100.0, 2..14),
+        linkage_idx in 0usize..4,
+    ) {
+        let linkage = Linkage::ALL[linkage_idx];
+        let d = agglomerative(&point_matrix(&points), linkage);
+        for w in d.merges().windows(2) {
+            prop_assert!(
+                w[0].distance <= w[1].distance + 1e-4,
+                "{:?}: {} then {}", linkage, w[0].distance, w[1].distance
+            );
+        }
+    }
+
+    /// The number of clusters at λ equals n − (#merges with distance ≤ λ).
+    #[test]
+    fn cluster_count_matches_merge_count(
+        points in proptest::collection::vec(-100.0f32..100.0, 2..12),
+        lambda in 0.0f32..250.0,
+    ) {
+        let d = agglomerative(&point_matrix(&points), Linkage::Average);
+        let applied = d.merges().iter().filter(|m| m.distance <= lambda).count();
+        prop_assert_eq!(d.num_clusters_at(lambda), points.len() - applied);
+        let labels = d.cut_at(lambda);
+        let k = labels.iter().copied().max().unwrap_or(0) + 1;
+        prop_assert_eq!(k, points.len() - applied);
+    }
+
+    /// Silhouette is bounded in [-1, 1] for any labeling.
+    #[test]
+    fn silhouette_is_bounded(
+        points in proptest::collection::vec(-100.0f32..100.0, 3..10),
+        labels_seed in proptest::collection::vec(0usize..3, 10),
+    ) {
+        let n = points.len();
+        let labels: Vec<usize> = {
+            // Compact the raw labels so ids are 0-based dense.
+            let raw = &labels_seed[..n];
+            let mut seen: Vec<usize> = Vec::new();
+            raw.iter().map(|&l| {
+                if let Some(p) = seen.iter().position(|&s| s == l) { p } else { seen.push(l); seen.len() - 1 }
+            }).collect()
+        };
+        let m = point_matrix(&points);
+        let s = mean_silhouette(&m, &labels);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "s = {}", s);
+    }
+
+    /// Two well-separated 1-d blobs are always recovered by a 2-cut,
+    /// whatever the linkage.
+    #[test]
+    fn separated_blobs_are_recovered(
+        mut left in proptest::collection::vec(0.0f32..1.0, 2..5),
+        right in proptest::collection::vec(100.0f32..101.0, 2..5),
+        linkage_idx in 0usize..4,
+    ) {
+        let n_left = left.len();
+        left.extend(right.iter().copied());
+        let d = agglomerative(&point_matrix(&left), Linkage::ALL[linkage_idx]);
+        let labels = d.cut_k(2);
+        for i in 1..n_left {
+            prop_assert_eq!(labels[i], labels[0]);
+        }
+        for i in n_left..left.len() {
+            prop_assert_eq!(labels[i], labels[n_left]);
+        }
+        prop_assert_ne!(labels[0], labels[n_left]);
+    }
+}

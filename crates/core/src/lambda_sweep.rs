@@ -1,0 +1,157 @@
+//! The λ sweep behind Fig. 4: the generalization ↔ personalization dial.
+//!
+//! One warm-up + clustering pass produces a dendrogram; every λ cut of that
+//! dendrogram is then trained and evaluated. Large λ merges everyone into
+//! one cluster (FedAvg-like, fully global); tiny λ leaves every client in
+//! its own cluster (Local-like, fully personalized).
+
+use crate::algorithm::FedClust;
+use crate::clustering::{outcome_from_dendrogram, LambdaSelect};
+use crate::proximity::{collect_partial_weights, proximity_matrix};
+use fedclust_cluster::hac::agglomerative;
+use fedclust_data::FederatedDataset;
+use fedclust_fl::engine::{
+    average_accuracy, evaluate_clients, init_model, sample_clients, train_sampled, weighted_average,
+};
+use fedclust_fl::FlConfig;
+use serde::{Deserialize, Serialize};
+
+/// One point of the λ sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LambdaPoint {
+    /// The threshold λ.
+    pub lambda: f32,
+    /// Number of clusters formed at this λ.
+    pub num_clusters: usize,
+    /// Final average local test accuracy.
+    pub final_acc: f64,
+}
+
+/// Evenly spaced λ values spanning the dendrogram's merge-distance range
+/// (plus a sub-minimum and a super-maximum point so the sweep reaches both
+/// the all-singleton and the single-cluster regimes).
+pub fn lambda_grid(fd: &FederatedDataset, cfg: &FlConfig, method: &FedClust, points: usize) -> Vec<f32> {
+    let template = init_model(fd, cfg);
+    let init_state = template.state_vec();
+    let partials = collect_partial_weights(
+        fd,
+        cfg,
+        &template,
+        &init_state,
+        method.warmup_epochs,
+        method.selection,
+    );
+    let matrix = proximity_matrix(&partials, method.metric);
+    let dendro = agglomerative(&matrix, method.linkage);
+    let merges = dendro.merges();
+    if merges.is_empty() {
+        return vec![1.0];
+    }
+    let lo = merges.first().unwrap().distance;
+    let hi = merges.last().unwrap().distance;
+    let mut grid = vec![lo * 0.5];
+    let steps = points.saturating_sub(2).max(1);
+    for i in 0..=steps {
+        grid.push(lo + (hi - lo) * i as f32 / steps as f32 + 1e-6);
+    }
+    grid.push(hi * 1.5 + 1.0);
+    grid
+}
+
+/// Run the sweep: cluster once, then train and evaluate each λ cut.
+pub fn sweep(fd: &FederatedDataset, cfg: &FlConfig, method: &FedClust, lambdas: &[f32]) -> Vec<LambdaPoint> {
+    let template = init_model(fd, cfg);
+    let init_state = template.state_vec();
+    let partials = collect_partial_weights(
+        fd,
+        cfg,
+        &template,
+        &init_state,
+        method.warmup_epochs,
+        method.selection,
+    );
+    let matrix = proximity_matrix(&partials, method.metric);
+    let dendro = agglomerative(&matrix, method.linkage);
+
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let outcome = outcome_from_dendrogram(&dendro, LambdaSelect::Fixed(lambda));
+            let k = outcome.num_clusters.max(1);
+            let mut states = vec![init_state.clone(); k];
+            for round in 0..cfg.rounds {
+                let sampled = sample_clients(fd.num_clients(), cfg, round + 1);
+                for ci in 0..k {
+                    let members: Vec<usize> = sampled
+                        .iter()
+                        .copied()
+                        .filter(|&c| outcome.labels[c] == ci)
+                        .collect();
+                    if members.is_empty() {
+                        continue;
+                    }
+                    let updates =
+                        train_sampled(fd, cfg, &template, &states[ci], &members, round + 1, None);
+                    let items: Vec<(&[f32], f32)> = updates
+                        .iter()
+                        .map(|u| (u.state.as_slice(), u.weight))
+                        .collect();
+                    states[ci] = weighted_average(&items);
+                }
+            }
+            let per_client =
+                evaluate_clients(fd, &template, |c| states[outcome.labels[c]].as_slice());
+            LambdaPoint {
+                lambda,
+                num_clusters: k,
+                final_acc: average_accuracy(&per_client),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedclust_data::DatasetProfile;
+
+    fn two_group_fd() -> FederatedDataset {
+        let groups: Vec<Vec<usize>> = (0..6)
+            .map(|c| if c < 3 { (0..5).collect() } else { (5..10).collect() })
+            .collect();
+        FederatedDataset::build_grouped(
+            DatasetProfile::FmnistLike,
+            &groups,
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 6,
+                samples_per_class: 30,
+                train_fraction: 0.8,
+                seed: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn sweep_cluster_counts_decrease_with_lambda() {
+        let fd = two_group_fd();
+        let mut cfg = FlConfig::tiny(5);
+        cfg.rounds = 2;
+        let method = FedClust::default();
+        let grid = lambda_grid(&fd, &cfg, &method, 4);
+        assert!(grid.len() >= 3);
+        let points = sweep(&fd, &cfg, &method, &grid);
+        for w in points.windows(2) {
+            assert!(
+                w[0].num_clusters >= w[1].num_clusters,
+                "λ {} → {} clusters then λ {} → {}",
+                w[0].lambda,
+                w[0].num_clusters,
+                w[1].lambda,
+                w[1].num_clusters
+            );
+        }
+        // Extremes: all-singleton at the low end, one cluster at the top.
+        assert_eq!(points.first().unwrap().num_clusters, 6);
+        assert_eq!(points.last().unwrap().num_clusters, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Persisting trained federations.
+//!
+//! A FedClust server must retain, beyond the cluster models themselves,
+//! the per-cluster representative partial weights so newcomers can be
+//! incorporated later (Algorithm 2). [`SavedFederation`] is the
+//! serializable snapshot of everything the server needs, and it restores
+//! to a fully working [`TrainedFederation`] — model template included —
+//! in a fresh process.
+
+use crate::algorithm::TrainedFederation;
+use crate::clustering::ClusteringOutcome;
+use fedclust_nn::models::ModelSpec;
+use fedclust_tensor::rng::{derive, streams};
+use serde::{Deserialize, Serialize};
+
+/// Serializable snapshot of a trained FedClust federation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedFederation {
+    /// Architecture to rebuild the template from.
+    pub model_spec: ModelSpec,
+    /// Dataset geometry `(channels, height, width, classes)`.
+    pub geometry: (usize, usize, usize, usize),
+    /// The initial broadcast state θ⁰.
+    pub init_state: Vec<f32>,
+    /// Cluster id per original client.
+    pub labels: Vec<usize>,
+    /// One trained state vector per cluster.
+    pub cluster_states: Vec<Vec<f32>>,
+    /// Per-cluster representative partial weights (Algorithm 2's anchors).
+    pub representatives: Vec<Vec<f32>>,
+    /// The clustering outcome (λ, cluster count).
+    pub outcome: ClusteringOutcome,
+}
+
+impl SavedFederation {
+    /// Snapshot a trained federation.
+    pub fn from_federation(federation: &TrainedFederation) -> Self {
+        SavedFederation {
+            model_spec: federation.model_spec,
+            geometry: federation.geometry,
+            init_state: federation.init_state.clone(),
+            labels: federation.labels.clone(),
+            cluster_states: federation.cluster_states.clone(),
+            representatives: federation.representatives.clone(),
+            outcome: federation.outcome.clone(),
+        }
+    }
+
+    /// Restore a working federation: rebuilds the model template from the
+    /// spec/geometry and re-installs all saved state.
+    ///
+    /// # Panics
+    /// Panics if a saved state vector does not match the rebuilt
+    /// template's state length (corrupted snapshot or changed code).
+    pub fn restore(&self) -> TrainedFederation {
+        let (c, h, w, classes) = self.geometry;
+        // The RNG only seeds throwaway initial weights; every parameter is
+        // overwritten from the snapshot below.
+        let mut rng = derive(0, &[streams::MODEL_INIT]);
+        let mut template = self.model_spec.build(c, h, w, classes, &mut rng);
+        assert_eq!(
+            template.state_len(),
+            self.init_state.len(),
+            "snapshot does not match the rebuilt architecture"
+        );
+        template.set_state_vec(&self.init_state);
+        TrainedFederation {
+            template,
+            model_spec: self.model_spec,
+            geometry: self.geometry,
+            init_state: self.init_state.clone(),
+            labels: self.labels.clone(),
+            cluster_states: self.cluster_states.clone(),
+            representatives: self.representatives.clone(),
+            outcome: self.outcome.clone(),
+        }
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("federation snapshot serializes")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::FedClust;
+    use crate::newcomer::assign_cluster;
+    use fedclust_data::{DatasetProfile, FederatedDataset};
+    use fedclust_fl::FlConfig;
+    use fedclust_tensor::distance::Metric;
+
+    fn trained() -> TrainedFederation {
+        let groups: Vec<Vec<usize>> = (0..6)
+            .map(|c| if c < 3 { (0..5).collect() } else { (5..10).collect() })
+            .collect();
+        let fd = FederatedDataset::build_grouped(
+            DatasetProfile::FmnistLike,
+            &groups,
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 6,
+                samples_per_class: 30,
+                train_fraction: 0.8,
+                seed: 13,
+            },
+        );
+        let mut cfg = FlConfig::tiny(13);
+        cfg.rounds = 2;
+        FedClust::default().run_detailed(&fd, &cfg).1
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let federation = trained();
+        let saved = SavedFederation::from_federation(&federation);
+        let json = saved.to_json();
+        let back = SavedFederation::from_json(&json).unwrap();
+        assert_eq!(back.labels, federation.labels);
+        assert_eq!(back.cluster_states, federation.cluster_states);
+        assert_eq!(back.representatives, federation.representatives);
+        assert_eq!(back.outcome, federation.outcome);
+    }
+
+    #[test]
+    fn restored_federation_assigns_newcomers_identically() {
+        let federation = trained();
+        let saved = SavedFederation::from_federation(&federation);
+        let restored = SavedFederation::from_json(&saved.to_json()).unwrap().restore();
+        // Probe with each representative: assignments must match the
+        // original federation's.
+        for rep in &federation.representatives {
+            assert_eq!(
+                assign_cluster(&federation, rep, Metric::L2),
+                assign_cluster(&restored, rep, Metric::L2)
+            );
+        }
+        // The restored template carries θ⁰ exactly.
+        assert_eq!(restored.template.state_vec(), federation.init_state);
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_rejected() {
+        let federation = trained();
+        let mut saved = SavedFederation::from_federation(&federation);
+        saved.init_state.pop();
+        let result = std::panic::catch_unwind(|| saved.restore());
+        assert!(result.is_err(), "truncated state must not restore");
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(SavedFederation::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Warm-up training, partial-weight collection, and the Eq. 3 proximity
+//! matrix.
+//!
+//! The key design choice of FedClust (paper §4.1): clients upload only the
+//! final layer's weights + bias, which are (a) tiny compared to the full
+//! model and (b) the weights most strongly tied to the local label
+//! distribution (the paper's Fig. 1 observation, reproduced by this
+//! crate's `fig1` bench harness).
+
+use fedclust_data::FederatedDataset;
+use fedclust_fl::engine::local_train;
+use fedclust_fl::FlConfig;
+use fedclust_cluster::ProximityMatrix;
+use fedclust_nn::optim::Sgd;
+use fedclust_nn::Model;
+use fedclust_tensor::distance::Metric;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which slice of the locally trained weights clients upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightSelection {
+    /// The final parameterised layer's weights + bias — FedClust's choice.
+    FinalLayer,
+    /// The full parameter vector — the ablation the paper argues against
+    /// (larger uploads, *worse* similarity signal).
+    FullModel,
+    /// One specific parameter block (by index) — used by the Fig. 1
+    /// layer-wise study.
+    Block(usize),
+}
+
+impl WeightSelection {
+    /// Extract the selected weights from a trained model.
+    pub fn extract(&self, model: &Model) -> Vec<f32> {
+        match self {
+            WeightSelection::FinalLayer => model.final_layer_vec(),
+            WeightSelection::FullModel => model.param_vec(),
+            WeightSelection::Block(i) => {
+                let blocks = model.param_blocks();
+                model.block_vec(&blocks[*i])
+            }
+        }
+    }
+
+    /// Number of scalars this selection uploads, for a given model.
+    pub fn upload_len(&self, model: &Model) -> usize {
+        match self {
+            WeightSelection::FinalLayer => model.final_layer_vec().len(),
+            WeightSelection::FullModel => model.num_params(),
+            WeightSelection::Block(i) => model.param_blocks()[*i].len,
+        }
+    }
+}
+
+/// Round-0 warm-up: every client trains the broadcast model θ⁰ for
+/// `warmup_epochs` local epochs and returns the selected partial weights.
+/// Runs clients in parallel; deterministic per `(cfg.seed, client)`.
+pub fn collect_partial_weights(
+    fd: &FederatedDataset,
+    cfg: &FlConfig,
+    template: &Model,
+    init_state: &[f32],
+    warmup_epochs: usize,
+    selection: WeightSelection,
+) -> Vec<Vec<f32>> {
+    (0..fd.num_clients())
+        .into_par_iter()
+        .map(|client| {
+            let mut model = template.clone();
+            model.set_state_vec(init_state);
+            let mut opt = Sgd::new(cfg.sgd());
+            local_train(
+                &mut model,
+                &fd.clients[client],
+                &mut opt,
+                warmup_epochs,
+                cfg.batch_size,
+                cfg.seed,
+                client,
+                0, // warm-up is round 0
+            );
+            selection.extract(&model)
+        })
+        .collect()
+}
+
+/// Eq. 3: the m×m proximity matrix of pairwise distances between clients'
+/// partial weight vectors.
+pub fn proximity_matrix(weights: &[Vec<f32>], metric: Metric) -> ProximityMatrix {
+    ProximityMatrix::from_fn(weights.len(), |i, j| metric.eval(&weights[i], &weights[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedclust_data::DatasetProfile;
+    use fedclust_fl::engine::init_model;
+
+    fn two_group_fd(seed: u64) -> FederatedDataset {
+        let groups: Vec<Vec<usize>> = (0..6)
+            .map(|c| if c < 3 { (0..5).collect() } else { (5..10).collect() })
+            .collect();
+        FederatedDataset::build_grouped(
+            DatasetProfile::FmnistLike,
+            &groups,
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 6,
+                samples_per_class: 30,
+                train_fraction: 0.8,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn final_layer_upload_is_much_smaller_than_full() {
+        let fd = two_group_fd(0);
+        let cfg = FlConfig::tiny(0);
+        let model = init_model(&fd, &cfg);
+        let fl = WeightSelection::FinalLayer.upload_len(&model);
+        let full = WeightSelection::FullModel.upload_len(&model);
+        assert!(fl * 2 < full, "final {} full {}", fl, full);
+    }
+
+    #[test]
+    fn same_group_clients_have_closer_final_layers() {
+        let fd = two_group_fd(1);
+        let mut cfg = FlConfig::tiny(1);
+        cfg.local_epochs = 2;
+        let template = init_model(&fd, &cfg);
+        let init_state = template.state_vec();
+        let weights = collect_partial_weights(
+            &fd,
+            &cfg,
+            &template,
+            &init_state,
+            2,
+            WeightSelection::FinalLayer,
+        );
+        let m = proximity_matrix(&weights, Metric::L2);
+        // Mean intra-group distance must be below mean inter-group distance:
+        // the core empirical claim of the paper (§3.3).
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                if (i < 3) == (j < 3) {
+                    intra.push(m.get(i, j));
+                } else {
+                    inter.push(m.get(i, j));
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&intra) < mean(&inter),
+            "intra {} inter {}",
+            mean(&intra),
+            mean(&inter)
+        );
+    }
+
+    #[test]
+    fn block_selection_extracts_named_blocks() {
+        let fd = two_group_fd(2);
+        let cfg = FlConfig::tiny(2);
+        let model = init_model(&fd, &cfg);
+        let blocks = model.param_blocks();
+        for (i, b) in blocks.iter().enumerate() {
+            let v = WeightSelection::Block(i).extract(&model);
+            assert_eq!(v.len(), b.len);
+        }
+        // Final layer == last block.
+        let last = WeightSelection::Block(blocks.len() - 1).extract(&model);
+        assert_eq!(last, WeightSelection::FinalLayer.extract(&model));
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let fd = two_group_fd(3);
+        let cfg = FlConfig::tiny(3);
+        let template = init_model(&fd, &cfg);
+        let s = template.state_vec();
+        let a = collect_partial_weights(&fd, &cfg, &template, &s, 1, WeightSelection::FinalLayer);
+        let b = collect_partial_weights(&fd, &cfg, &template, &s, 1, WeightSelection::FinalLayer);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,156 @@
+//! In-memory dataset containers and minibatching.
+
+use fedclust_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled image dataset held in one contiguous tensor.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Images, shape `(n, channels, height, width)`.
+    pub images: Tensor,
+    /// Integer class labels, length `n`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Assemble from an image tensor and labels.
+    ///
+    /// # Panics
+    /// Panics if the image count and label count disagree or the image
+    /// tensor is not 4-dimensional.
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Self {
+        assert_eq!(images.shape().ndim(), 4, "images must be (n, c, h, w)");
+        assert_eq!(images.dims()[0], labels.len(), "image/label count mismatch");
+        Dataset { images, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Size of one image in scalars.
+    pub fn sample_numel(&self) -> usize {
+        self.images.dims()[1..].iter().product()
+    }
+
+    /// Gather a subset by sample indices into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let sz = self.sample_numel();
+        let dims = self.images.dims();
+        let mut data = Vec::with_capacity(indices.len() * sz);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.images.data()[i * sz..(i + 1) * sz]);
+            labels.push(self.labels[i]);
+        }
+        let images = Tensor::from_vec([indices.len(), dims[1], dims[2], dims[3]], data);
+        Dataset::new(images, labels)
+    }
+
+    /// Gather a batch `(x, y)` by sample indices.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let d = self.subset(indices);
+        (d.images, d.labels)
+    }
+
+    /// Shuffled minibatch index lists covering the whole dataset once.
+    /// The final batch may be smaller than `batch_size`.
+    pub fn minibatch_indices(&self, batch_size: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+
+    /// Set of distinct labels present, sorted ascending.
+    pub fn label_set(&self) -> Vec<usize> {
+        let mut l = self.labels.clone();
+        l.sort_unstable();
+        l.dedup();
+        l
+    }
+
+    /// Count of samples per class, over `num_classes` classes.
+    pub fn class_counts(&self, num_classes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+/// One client's local data: disjoint train and test splits.
+#[derive(Debug, Clone)]
+pub struct ClientData {
+    /// Local training split.
+    pub train: Dataset,
+    /// Local held-out test split (the paper's "local test accuracy" is
+    /// measured on this).
+    pub test: Dataset,
+}
+
+impl ClientData {
+    /// Total local samples (train + test).
+    pub fn total_samples(&self) -> usize {
+        self.train.len() + self.test.len()
+    }
+
+    /// Number of training samples (the FedAvg aggregation weight `n_i`).
+    pub fn train_samples(&self) -> usize {
+        self.train.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let images = Tensor::from_vec([4, 1, 2, 2], (0..16).map(|v| v as f32).collect());
+        Dataset::new(images, vec![0, 1, 0, 1])
+    }
+
+    #[test]
+    fn subset_gathers_rows() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![0, 0]);
+        assert_eq!(&s.images.data()[0..4], &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(&s.images.data()[4..8], &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn minibatches_cover_everything_once() {
+        let d = toy();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let batches = d.minibatch_indices(3, &mut rng);
+        assert_eq!(batches.len(), 2);
+        let mut all: Vec<usize> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn label_set_and_counts() {
+        let d = toy();
+        assert_eq!(d.label_set(), vec![0, 1]);
+        assert_eq!(d.class_counts(3), vec![2, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "image/label count mismatch")]
+    fn mismatched_labels_panic() {
+        let images = Tensor::zeros([2, 1, 2, 2]);
+        let _ = Dataset::new(images, vec![0]);
+    }
+}

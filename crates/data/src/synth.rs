@@ -1,0 +1,225 @@
+//! Class-conditional synthetic image generation.
+//!
+//! Each class gets a *prototype*: a smooth random field blended with a
+//! dataset-wide base image (the blend fraction sets inter-class
+//! confusability). A sample is its class prototype after a random integer
+//! translation, brightness jitter, and per-pixel Gaussian noise. This gives
+//! the classifier something genuinely learnable with controllable
+//! difficulty, and — crucially for FedClust — makes clients that hold the
+//! same labels train similar classifier heads.
+
+use crate::dataset::Dataset;
+use crate::profiles::{DatasetProfile, ProfileParams};
+use fedclust_tensor::init::NormalDist;
+use fedclust_tensor::rng::{derive, streams};
+use fedclust_tensor::Tensor;
+use rand::Rng;
+
+/// A smooth random field in roughly `[-1, 1]`: white noise box-blurred a
+/// few times so prototypes have spatial structure (edges survive shifts).
+fn smooth_field(h: usize, w: usize, rng: &mut impl Rng) -> Vec<f32> {
+    let mut field: Vec<f32> = (0..h * w).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    let mut tmp = vec![0.0f32; h * w];
+    for _ in 0..3 {
+        // 3×3 box blur with clamped borders.
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let yy = y as i32 + dy;
+                        let xx = x as i32 + dx;
+                        if yy >= 0 && yy < h as i32 && xx >= 0 && xx < w as i32 {
+                            acc += field[yy as usize * w + xx as usize];
+                            cnt += 1.0;
+                        }
+                    }
+                }
+                tmp[y * w + x] = acc / cnt;
+            }
+        }
+        std::mem::swap(&mut field, &mut tmp);
+    }
+    // Re-normalise to unit-ish scale after blurring.
+    let max = field.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+    for v in &mut field {
+        *v /= max;
+    }
+    field
+}
+
+/// Per-class prototypes for a profile: shape `(classes, channels, h, w)`.
+pub fn class_prototypes(profile: DatasetProfile, root_seed: u64) -> Tensor {
+    let p = profile.params();
+    let mut rng = derive(root_seed, &[streams::DATA, profile.stream_id(), 0]);
+    let plane = p.height * p.width;
+    // Shared base per channel.
+    let base: Vec<Vec<f32>> = (0..p.channels)
+        .map(|_| smooth_field(p.height, p.width, &mut rng))
+        .collect();
+    let mut data = Vec::with_capacity(p.num_classes * p.channels * plane);
+    for _class in 0..p.num_classes {
+        for (ch, base_plane) in base.iter().enumerate() {
+            let _ = ch;
+            let unique = smooth_field(p.height, p.width, &mut rng);
+            for i in 0..plane {
+                data.push(p.base_blend * base_plane[i] + (1.0 - p.base_blend) * unique[i]);
+            }
+        }
+    }
+    Tensor::from_vec([p.num_classes, p.channels, p.height, p.width], data)
+}
+
+/// Shift a `(c, h, w)` image by `(dy, dx)` pixels with zero fill.
+fn shift_image(src: &[f32], c: usize, h: usize, w: usize, dy: i32, dx: i32, dst: &mut [f32]) {
+    dst.fill(0.0);
+    for ch in 0..c {
+        for y in 0..h {
+            let sy = y as i32 - dy;
+            if sy < 0 || sy >= h as i32 {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as i32 - dx;
+                if sx < 0 || sx >= w as i32 {
+                    continue;
+                }
+                dst[ch * h * w + y * w + x] = src[ch * h * w + sy as usize * w + sx as usize];
+            }
+        }
+    }
+}
+
+/// Synthesise one sample of class `class` given the prototypes.
+fn sample_image(
+    prototypes: &Tensor,
+    params: &ProfileParams,
+    class: usize,
+    rng: &mut impl Rng,
+    out: &mut [f32],
+) {
+    let (c, h, w) = (params.channels, params.height, params.width);
+    let plane = c * h * w;
+    let proto = &prototypes.data()[class * plane..(class + 1) * plane];
+    let s = params.max_shift as i32;
+    let (dy, dx) = if s > 0 {
+        (rng.gen_range(-s..=s), rng.gen_range(-s..=s))
+    } else {
+        (0, 0)
+    };
+    shift_image(proto, c, h, w, dy, dx, out);
+    let brightness = 1.0 + rng.gen_range(-params.brightness_jitter..=params.brightness_jitter);
+    let noise = NormalDist::new(0.0, params.noise_std);
+    for v in out.iter_mut() {
+        *v = *v * brightness + noise.sample(rng);
+    }
+}
+
+/// Generate a pooled dataset with `samples_per_class` samples of every
+/// class, in class-major order (all class-0 samples first, etc.).
+///
+/// Deterministic in `(profile, root_seed, samples_per_class)`.
+pub fn generate_pool(profile: DatasetProfile, samples_per_class: usize, root_seed: u64) -> Dataset {
+    let params = profile.params();
+    let prototypes = class_prototypes(profile, root_seed);
+    let plane = params.channels * params.height * params.width;
+    let n = params.num_classes * samples_per_class;
+    let mut data = vec![0.0f32; n * plane];
+    let mut labels = Vec::with_capacity(n);
+    let mut rng = derive(root_seed, &[streams::DATA, profile.stream_id(), 1]);
+    for class in 0..params.num_classes {
+        for s in 0..samples_per_class {
+            let i = class * samples_per_class + s;
+            sample_image(
+                &prototypes,
+                &params,
+                class,
+                &mut rng,
+                &mut data[i * plane..(i + 1) * plane],
+            );
+            labels.push(class);
+        }
+    }
+    Dataset::new(
+        Tensor::from_vec(
+            [n, params.channels, params.height, params.width],
+            data,
+        ),
+        labels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedclust_tensor::distance::l2;
+
+    #[test]
+    fn pool_shape_and_labels() {
+        let d = generate_pool(DatasetProfile::FmnistLike, 5, 7);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.images.dims(), &[50, 1, 16, 16]);
+        assert_eq!(d.class_counts(10), vec![5; 10]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_pool(DatasetProfile::Cifar10Like, 3, 42);
+        let b = generate_pool(DatasetProfile::Cifar10Like, 3, 42);
+        assert_eq!(a.images.data(), b.images.data());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_pool(DatasetProfile::Cifar10Like, 3, 1);
+        let b = generate_pool(DatasetProfile::Cifar10Like, 3, 2);
+        assert_ne!(a.images.data(), b.images.data());
+    }
+
+    #[test]
+    fn same_class_is_closer_than_cross_class_on_average() {
+        // The core property the classifier exploits: intra-class distance
+        // < inter-class distance (in expectation).
+        let d = generate_pool(DatasetProfile::FmnistLike, 10, 3);
+        let sz = d.sample_numel();
+        let img = |i: usize| &d.images.data()[i * sz..(i + 1) * sz];
+        // class 0 = samples 0..10, class 1 = samples 10..20.
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut n = 0;
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                intra += l2(img(i), img(j));
+                inter += l2(img(i), img(10 + j));
+                n += 1;
+            }
+        }
+        let (intra_mean, inter_mean) = (intra / n as f32, inter / n as f32);
+        assert!(intra_mean < inter_mean, "intra {} inter {}", intra_mean, inter_mean);
+    }
+
+    #[test]
+    fn prototypes_have_expected_shape() {
+        let p = class_prototypes(DatasetProfile::Cifar100Like, 0);
+        assert_eq!(p.dims(), &[20, 3, 8, 8]);
+        assert!(!p.has_non_finite());
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let d = generate_pool(DatasetProfile::SvhnLike, 4, 9);
+        assert!(!d.images.has_non_finite());
+    }
+
+    #[test]
+    fn shift_moves_content() {
+        let src: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let mut dst = vec![0.0f32; 9];
+        shift_image(&src, 1, 3, 3, 1, 0, &mut dst);
+        // Row 0 becomes zeros, row 1 gets old row 0.
+        assert_eq!(&dst[0..3], &[0.0, 0.0, 0.0]);
+        assert_eq!(&dst[3..6], &[0.0, 1.0, 2.0]);
+    }
+}

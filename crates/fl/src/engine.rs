@@ -1,0 +1,352 @@
+//! Shared round machinery: model initialisation, deterministic client
+//! sampling, local training, weighted aggregation, and all-client
+//! evaluation.
+//!
+//! Every method implementation composes these primitives; they are the
+//! "FedAvg skeleton" the paper's Algorithm 1 shares with its baselines.
+
+use crate::config::FlConfig;
+use fedclust_data::{ClientData, FederatedDataset};
+use fedclust_nn::optim::Sgd;
+use fedclust_nn::Model;
+use fedclust_tensor::rng::{derive, streams};
+use rand::seq::SliceRandom;
+use rayon::prelude::*;
+
+/// Build the initial server model θ⁰ for a federated dataset. All methods
+/// in one experiment share this initialisation (the server broadcasts θ⁰).
+pub fn init_model(fd: &FederatedDataset, cfg: &FlConfig) -> Model {
+    let mut rng = derive(cfg.seed, &[streams::MODEL_INIT]);
+    cfg.model
+        .build(fd.channels, fd.height, fd.width, fd.num_classes, &mut rng)
+}
+
+/// Deterministically sample the participating clients for `round`, then
+/// apply the configured dropout: each selected client independently drops
+/// with probability `cfg.dropout_rate` (deterministic per
+/// `(seed, round, client)`), and at least one client always survives so
+/// every round makes progress.
+pub fn sample_clients(num_clients: usize, cfg: &FlConfig, round: usize) -> Vec<usize> {
+    let n = cfg.clients_per_round(num_clients);
+    let mut rng = derive(cfg.seed, &[streams::SAMPLING, round as u64]);
+    let mut ids: Vec<usize> = (0..num_clients).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(n);
+    ids.sort_unstable();
+    if cfg.dropout_rate > 0.0 {
+        use rand::Rng;
+        let survivors: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let mut r = derive(cfg.seed, &[streams::DROPOUT, round as u64, c as u64]);
+                r.gen::<f32>() >= cfg.dropout_rate
+            })
+            .collect();
+        if survivors.is_empty() {
+            return vec![ids[0]];
+        }
+        return survivors;
+    }
+    ids
+}
+
+/// Train `model` on one client's local data for `epochs` epochs of
+/// minibatch SGD. Returns the number of optimizer steps taken (FedNova's
+/// τ_i). The minibatch order derives from `(seed, client, round)`, so runs
+/// are reproducible regardless of thread schedule.
+pub fn local_train(
+    model: &mut Model,
+    data: &ClientData,
+    opt: &mut Sgd,
+    epochs: usize,
+    batch_size: usize,
+    seed: u64,
+    client: usize,
+    round: usize,
+) -> usize {
+    let mut rng = derive(seed, &[streams::LOCAL_TRAIN, client as u64, round as u64]);
+    let mut steps = 0;
+    for _ in 0..epochs {
+        for batch in data.train.minibatch_indices(batch_size, &mut rng) {
+            let (x, y) = data.train.batch(&batch);
+            model.train_step(x, &y, opt);
+            steps += 1;
+        }
+    }
+    steps
+}
+
+/// The payload a client uploads after local training.
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// Client id.
+    pub client: usize,
+    /// Full post-training state vector (params + extra state).
+    pub state: Vec<f32>,
+    /// Training-set size `n_i` (the FedAvg weight).
+    pub weight: f32,
+    /// Local optimizer steps τ_i (for FedNova).
+    pub steps: usize,
+}
+
+/// Run local training on every sampled client in parallel, starting each
+/// from `start_state`, and collect the updates. `momentum_override` lets
+/// personalized methods use the paper's 0.5 momentum.
+pub fn train_sampled(
+    fd: &FederatedDataset,
+    cfg: &FlConfig,
+    template: &Model,
+    start_state: &[f32],
+    sampled: &[usize],
+    round: usize,
+    prox_mu: Option<f32>,
+) -> Vec<ClientUpdate> {
+    sampled
+        .par_iter()
+        .map(|&client| {
+            let mut model = template.clone();
+            model.set_state_vec(start_state);
+            let mut opt = Sgd::new(cfg.sgd());
+            if let Some(mu) = prox_mu {
+                opt.set_prox(mu, model.param_tensors());
+            }
+            let data = &fd.clients[client];
+            let steps = local_train(
+                &mut model,
+                data,
+                &mut opt,
+                cfg.local_epochs,
+                cfg.batch_size,
+                cfg.seed,
+                client,
+                round,
+            );
+            ClientUpdate {
+                client,
+                state: model.state_vec(),
+                weight: data.train_samples() as f32,
+                steps,
+            }
+        })
+        .collect()
+}
+
+/// Weighted average of equal-length state vectors — Eq. 2's cluster (or
+/// global) model aggregation.
+///
+/// # Panics
+/// Panics if `items` is empty, lengths differ, or all weights are zero.
+pub fn weighted_average(items: &[(&[f32], f32)]) -> Vec<f32> {
+    assert!(!items.is_empty(), "nothing to average");
+    let len = items[0].0.len();
+    let total: f64 = items.iter().map(|(_, w)| *w as f64).sum();
+    assert!(total > 0.0, "total weight must be positive");
+    let mut out = vec![0.0f64; len];
+    for (state, w) in items {
+        assert_eq!(state.len(), len, "state length mismatch in aggregation");
+        let coef = *w as f64 / total;
+        for (o, &s) in out.iter_mut().zip(state.iter()) {
+            *o += coef * s as f64;
+        }
+    }
+    out.into_iter().map(|v| v as f32).collect()
+}
+
+/// Evaluate every client's local test accuracy in parallel, with the state
+/// vector for client `i` provided by `state_of(i)`.
+pub fn evaluate_clients<'a, F>(fd: &FederatedDataset, template: &Model, state_of: F) -> Vec<f32>
+where
+    F: Fn(usize) -> &'a [f32] + Sync,
+{
+    (0..fd.num_clients())
+        .into_par_iter()
+        .map(|client| {
+            let mut model = template.clone();
+            model.set_state_vec(state_of(client));
+            let test = &fd.clients[client].test;
+            if test.is_empty() {
+                return 0.0;
+            }
+            let indices: Vec<usize> = (0..test.len()).collect();
+            let (x, y) = test.batch(&indices);
+            let (_, acc) = model.evaluate(x, &y);
+            acc
+        })
+        .collect()
+}
+
+/// Mean of per-client accuracies — the paper's headline metric.
+pub fn average_accuracy(per_client: &[f32]) -> f64 {
+    if per_client.is_empty() {
+        return 0.0;
+    }
+    per_client.iter().map(|&a| a as f64).sum::<f64>() / per_client.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::FlMethod;
+    use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
+
+    fn tiny_fd(seed: u64) -> FederatedDataset {
+        FederatedDataset::build(
+            DatasetProfile::FmnistLike,
+            Partition::LabelSkew { fraction: 0.2 },
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 6,
+                samples_per_class: 30,
+                train_fraction: 0.8,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let cfg = FlConfig::tiny(1);
+        let a = sample_clients(10, &cfg, 3);
+        let b = sample_clients(10, &cfg, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let c = sample_clients(10, &cfg, 4);
+        assert_ne!(a, c, "different rounds sample differently (w.h.p.)");
+    }
+
+    #[test]
+    fn dropout_zero_is_identity() {
+        let cfg = FlConfig::tiny(2);
+        let mut dropped = cfg;
+        dropped.dropout_rate = 0.0;
+        assert_eq!(sample_clients(10, &cfg, 1), sample_clients(10, &dropped, 1));
+    }
+
+    #[test]
+    fn dropout_removes_clients_but_never_everyone() {
+        let mut cfg = FlConfig::tiny(3);
+        cfg.sample_rate = 1.0;
+        cfg.dropout_rate = 0.95;
+        for round in 0..20 {
+            let s = sample_clients(8, &cfg, round);
+            assert!(!s.is_empty(), "round {} has no survivors", round);
+            assert!(s.len() <= 8);
+        }
+        // With heavy dropout, at least some rounds must lose clients.
+        let total: usize = (0..20).map(|r| sample_clients(8, &cfg, r).len()).sum();
+        assert!(total < 20 * 8 / 2, "dropout had no effect: {}", total);
+    }
+
+    #[test]
+    fn dropout_is_deterministic() {
+        let mut cfg = FlConfig::tiny(4);
+        cfg.dropout_rate = 0.5;
+        assert_eq!(sample_clients(12, &cfg, 5), sample_clients(12, &cfg, 5));
+    }
+
+    #[test]
+    fn fedavg_survives_heavy_dropout() {
+        let fd = tiny_fd(5);
+        let mut cfg = FlConfig::tiny(5);
+        cfg.rounds = 3;
+        cfg.dropout_rate = 0.7;
+        let r = crate::methods::FedAvg.run(&fd, &cfg);
+        assert!(r.final_acc.is_finite());
+        assert!(r.total_mb > 0.0);
+    }
+
+    #[test]
+    fn weighted_average_weights_correctly() {
+        let a = vec![0.0f32, 0.0];
+        let b = vec![1.0f32, 2.0];
+        let avg = weighted_average(&[(&a, 1.0), (&b, 3.0)]);
+        assert!((avg[0] - 0.75).abs() < 1e-6);
+        assert!((avg[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to average")]
+    fn empty_average_panics() {
+        let _ = weighted_average(&[]);
+    }
+
+    #[test]
+    fn local_training_improves_local_accuracy() {
+        let fd = tiny_fd(0);
+        let cfg = FlConfig::tiny(0);
+        let template = init_model(&fd, &cfg);
+        let init_state = template.state_vec();
+
+        let before = evaluate_clients(&fd, &template, |_| &init_state[..]);
+        let updates = train_sampled(&fd, &cfg, &template, &init_state, &[0], 0, None);
+        assert_eq!(updates.len(), 1);
+        assert!(updates[0].steps > 0);
+
+        let trained = &updates[0].state;
+        let mut model = template.clone();
+        model.set_state_vec(trained);
+        let test = &fd.clients[0].test;
+        let idx: Vec<usize> = (0..test.len()).collect();
+        let (x, y) = test.batch(&idx);
+        let (_, acc_after) = model.evaluate(x, &y);
+        // Training on ≤2 labels should beat the random-init accuracy on the
+        // client's own test split.
+        assert!(
+            acc_after >= before[0],
+            "acc before {} after {}",
+            before[0],
+            acc_after
+        );
+    }
+
+    #[test]
+    fn train_sampled_is_deterministic() {
+        let fd = tiny_fd(1);
+        let cfg = FlConfig::tiny(1);
+        let template = init_model(&fd, &cfg);
+        let s = template.state_vec();
+        let u1 = train_sampled(&fd, &cfg, &template, &s, &[0, 2, 4], 1, None);
+        let u2 = train_sampled(&fd, &cfg, &template, &s, &[0, 2, 4], 1, None);
+        for (a, b) in u1.iter().zip(&u2) {
+            assert_eq!(a.state, b.state);
+        }
+    }
+
+    #[test]
+    fn evaluate_all_clients_returns_one_acc_each() {
+        let fd = tiny_fd(2);
+        let cfg = FlConfig::tiny(2);
+        let template = init_model(&fd, &cfg);
+        let s = template.state_vec();
+        let accs = evaluate_clients(&fd, &template, |_| &s[..]);
+        assert_eq!(accs.len(), 6);
+        assert!(accs.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        let avg = average_accuracy(&accs);
+        assert!((0.0..=1.0).contains(&avg));
+    }
+
+    #[test]
+    fn prox_keeps_models_closer_to_start() {
+        let fd = tiny_fd(3);
+        let mut cfg = FlConfig::tiny(3);
+        cfg.local_epochs = 4;
+        let template = init_model(&fd, &cfg);
+        let s = template.state_vec();
+        let free = train_sampled(&fd, &cfg, &template, &s, &[1], 0, None);
+        let prox = train_sampled(&fd, &cfg, &template, &s, &[1], 0, Some(1.0));
+        let dist = |state: &[f32]| -> f64 {
+            state
+                .iter()
+                .zip(&s)
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(
+            dist(&prox[0].state) < dist(&free[0].state),
+            "prox {} free {}",
+            dist(&prox[0].state),
+            dist(&free[0].state)
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # fedclust-fl
+//!
+//! The federated-learning simulation engine and the nine baseline methods
+//! the paper compares FedClust against.
+//!
+//! * [`config::FlConfig`] — the shared experiment knobs (rounds, client
+//!   sampling rate, local epochs, optimiser settings, seed),
+//! * [`comm::CommMeter`] — exact byte accounting of every up/down transfer
+//!   (Tables 4 and 5 are derived from this),
+//! * [`metrics`] — round telemetry, run results, rounds/Mb-to-target,
+//! * [`engine`] — the shared round machinery: deterministic client
+//!   sampling, parallel local training, weighted state averaging, and
+//!   parallel all-client evaluation,
+//! * [`methods`] — the baselines: `Local`, `FedAvg`, `FedProx`, `FedNova`,
+//!   `LG-FedAvg`, `Per-FedAvg`, `CFL` (Sattler), `IFCA`, `PACFL`.
+//!
+//! FedClust itself lives in the `fedclust` crate and plugs into the same
+//! [`methods::FlMethod`] trait.
+
+pub mod comm;
+pub mod config;
+pub mod engine;
+pub mod methods;
+pub mod metrics;
+
+pub use comm::CommMeter;
+pub use config::FlConfig;
+pub use methods::FlMethod;
+pub use metrics::{RoundRecord, RunResult};

@@ -1,0 +1,213 @@
+//! FedDyn (Acar et al. 2021): federated learning with dynamic
+//! regularization.
+//!
+//! The paper's §2.1 cites FedDyn as the dynamic-regularizer answer to
+//! client drift. Each client keeps a dual variable `λ_i` (the running sum
+//! of its local first-order conditions) and minimises
+//!
+//! ```text
+//! F_i(w) − ⟨λ_i, w⟩ + (α/2)·‖w − θ‖²
+//! ```
+//!
+//! whose gradient contribution is `g − λ_i + α(w − θ)`. After local
+//! training the dual update is `λ_i ← λ_i − α(w_i − θ)`, and the server
+//! tracks `h ← h − α·mean_{i∈S}(w_i − θ)` to de-bias the new global model
+//! `θ⁺ = mean(w_i) − h/α`.
+//!
+//! Like SCAFFOLD, FedDyn is part of the extended related-work suite, not
+//! the paper's main tables.
+
+use crate::comm::CommMeter;
+use crate::config::FlConfig;
+use crate::engine::{average_accuracy, evaluate_clients, init_model, sample_clients};
+use crate::methods::FlMethod;
+use crate::metrics::{RoundRecord, RunResult};
+use fedclust_data::FederatedDataset;
+use fedclust_nn::loss::cross_entropy;
+use fedclust_nn::Model;
+use fedclust_tensor::rng::{derive, streams};
+use rayon::prelude::*;
+
+/// FedDyn with regularization strength α.
+#[derive(Debug, Clone, Copy)]
+pub struct FedDyn {
+    /// Dynamic-regularizer coefficient α (the paper of FedDyn uses 0.01–0.1).
+    pub alpha: f32,
+}
+
+impl Default for FedDyn {
+    fn default() -> Self {
+        FedDyn { alpha: 0.1 }
+    }
+}
+
+impl FedDyn {
+    #[allow(clippy::too_many_arguments)]
+    fn local_train(
+        &self,
+        template: &Model,
+        global_params: &[f32],
+        global_extra: &[f32],
+        lambda_i: &[f32],
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        client: usize,
+        round: usize,
+    ) -> (Vec<f32>, Vec<f32>, f32) {
+        let mut model = template.clone();
+        let mut state = global_params.to_vec();
+        state.extend_from_slice(global_extra);
+        model.set_state_vec(&state);
+        let data = &fd.clients[client];
+        let mut rng = derive(cfg.seed, &[streams::LOCAL_TRAIN, client as u64, round as u64]);
+        for _ in 0..cfg.local_epochs {
+            for batch in data.train.minibatch_indices(cfg.batch_size, &mut rng) {
+                let (x, y) = data.train.batch(&batch);
+                let logits = model.forward(x, true);
+                let (_, grad) = cross_entropy(&logits, &y);
+                model.backward(grad);
+                let mut off = 0;
+                for p in model.params_mut() {
+                    let n = p.value.numel();
+                    for j in 0..n {
+                        let w = p.value.data()[j];
+                        let g = p.grad.data()[j] - lambda_i[off + j]
+                            + self.alpha * (w - global_params[off + j]);
+                        p.value.data_mut()[j] = w - cfg.lr * g;
+                    }
+                    p.zero_grad();
+                    off += n;
+                }
+            }
+        }
+        let full = model.state_vec();
+        let n = global_params.len();
+        let extra = full[n..].to_vec();
+        (full[..n].to_vec(), extra, data.train_samples() as f32)
+    }
+}
+
+impl FlMethod for FedDyn {
+    fn name(&self) -> &'static str {
+        "FedDyn"
+    }
+
+    fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+        let template = init_model(fd, cfg);
+        let num_params = template.num_params();
+        let state_len = template.state_len();
+        let mut state = template.state_vec();
+        let mut h = vec![0.0f32; num_params];
+        let mut lambdas: Vec<Vec<f32>> = vec![vec![0.0f32; num_params]; fd.num_clients()];
+        let mut comm = CommMeter::new();
+        let mut history = Vec::new();
+
+        for round in 0..cfg.rounds {
+            let sampled = sample_clients(fd.num_clients(), cfg, round);
+            for _ in &sampled {
+                comm.down(state_len);
+                comm.up(state_len);
+            }
+            let (params, extra) = state.split_at(num_params);
+            let results: Vec<(usize, Vec<f32>, Vec<f32>, f32)> = sampled
+                .par_iter()
+                .map(|&client| {
+                    let (w, ex, weight) = self.local_train(
+                        &template,
+                        params,
+                        extra,
+                        &lambdas[client],
+                        fd,
+                        cfg,
+                        client,
+                        round,
+                    );
+                    (client, w, ex, weight)
+                })
+                .collect();
+
+            // Dual updates and server state.
+            let s = results.len() as f64;
+            let mut mean_w = vec![0.0f64; num_params];
+            for (client, w, _, _) in &results {
+                for j in 0..num_params {
+                    mean_w[j] += w[j] as f64 / s;
+                    lambdas[*client][j] -= self.alpha * (w[j] - state[j]);
+                }
+            }
+            for j in 0..num_params {
+                h[j] -= self.alpha * (mean_w[j] as f32 - state[j]);
+            }
+            for j in 0..num_params {
+                state[j] = mean_w[j] as f32 - h[j] / self.alpha;
+            }
+            if state_len > num_params {
+                let items: Vec<(&[f32], f32)> = results
+                    .iter()
+                    .map(|(_, _, ex, weight)| (ex.as_slice(), *weight))
+                    .collect();
+                let avg = crate::engine::weighted_average(&items);
+                state[num_params..].copy_from_slice(&avg);
+            }
+
+            if cfg.should_eval(round) {
+                let per_client = evaluate_clients(fd, &template, |_| &state[..]);
+                history.push(RoundRecord {
+                    round: round + 1,
+                    avg_acc: average_accuracy(&per_client),
+                    cum_mb: comm.total_mb(),
+                });
+            }
+        }
+
+        let per_client_acc = evaluate_clients(fd, &template, |_| &state[..]);
+        RunResult {
+            method: self.name().to_string(),
+            final_acc: average_accuracy(&per_client_acc),
+            per_client_acc,
+            history,
+            num_clusters: Some(1),
+            total_mb: comm.total_mb(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedclust_data::{DatasetProfile, Partition};
+
+    fn tiny_fd(seed: u64) -> FederatedDataset {
+        FederatedDataset::build(
+            DatasetProfile::FmnistLike,
+            Partition::LabelSkew { fraction: 0.5 },
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 6,
+                samples_per_class: 30,
+                train_fraction: 0.8,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn feddyn_learns_at_fedavg_communication_cost() {
+        let fd = tiny_fd(0);
+        let mut cfg = FlConfig::tiny(0);
+        cfg.rounds = 5;
+        let r = FedDyn::default().run(&fd, &cfg);
+        assert!(r.final_acc > 0.15, "acc {}", r.final_acc);
+        let fedavg = crate::methods::FedAvg.run(&fd, &cfg);
+        assert!((r.total_mb - fedavg.total_mb).abs() < 1e-9, "FedDyn moves no extra bytes");
+    }
+
+    #[test]
+    fn feddyn_is_deterministic_and_finite() {
+        let fd = tiny_fd(1);
+        let cfg = FlConfig::tiny(1);
+        let a = FedDyn::default().run(&fd, &cfg);
+        let b = FedDyn::default().run(&fd, &cfg);
+        assert_eq!(a.per_client_acc, b.per_client_acc);
+        assert!(a.final_acc.is_finite());
+    }
+}

@@ -1,0 +1,325 @@
+//! The single-global-model baselines: FedAvg, FedProx, FedNova.
+//!
+//! All three share the FedAvg skeleton (sample → local train → aggregate)
+//! and differ only in the local objective (FedProx's proximal term) or the
+//! aggregation rule (FedNova's normalised averaging).
+
+use crate::comm::CommMeter;
+use crate::config::FlConfig;
+use crate::engine::{
+    average_accuracy, evaluate_clients, init_model, sample_clients, train_sampled, weighted_average,
+};
+use crate::methods::FlMethod;
+use crate::metrics::{RoundRecord, RunResult};
+use fedclust_data::FederatedDataset;
+
+/// Which member of the FedAvg family to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GlobalVariant {
+    /// Plain FedAvg.
+    FedAvg,
+    /// FedProx with proximal coefficient μ.
+    FedProx {
+        /// Proximal coefficient.
+        mu: f32,
+    },
+    /// FedNova normalised averaging.
+    FedNova,
+}
+use GlobalVariant as Variant;
+
+/// Vanilla FedAvg (McMahan et al. 2017).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg;
+
+/// FedProx (Li et al. 2020): FedAvg with a proximal term μ/2·‖w − w_g‖² in
+/// every client's local objective.
+#[derive(Debug, Clone, Copy)]
+pub struct FedProx {
+    /// Proximal coefficient μ.
+    pub mu: f32,
+}
+
+impl Default for FedProx {
+    fn default() -> Self {
+        FedProx { mu: 0.01 }
+    }
+}
+
+/// FedNova (Wang et al. 2020): normalises each client's cumulative update
+/// by its local step count τ_i before averaging, removing objective
+/// inconsistency when clients take different numbers of steps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedNova;
+
+impl FlMethod for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+    fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+        run_global(Variant::FedAvg, self.name(), fd, cfg)
+    }
+}
+
+impl FlMethod for FedProx {
+    fn name(&self) -> &'static str {
+        "FedProx"
+    }
+    fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+        run_global(Variant::FedProx { mu: self.mu }, self.name(), fd, cfg)
+    }
+}
+
+impl FlMethod for FedNova {
+    fn name(&self) -> &'static str {
+        "FedNova"
+    }
+    fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+        run_global(Variant::FedNova, self.name(), fd, cfg)
+    }
+}
+
+fn run_global(variant: Variant, name: &str, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+    let template = init_model(fd, cfg);
+    let state_len = template.state_len();
+    let num_params = template.num_params();
+    let mut global = template.state_vec();
+    let mut comm = CommMeter::new();
+    let mut history = Vec::new();
+
+    for round in 0..cfg.rounds {
+        let sampled = sample_clients(fd.num_clients(), cfg, round);
+        for _ in &sampled {
+            comm.down(state_len);
+            comm.up(state_len);
+        }
+        let prox = match variant {
+            Variant::FedProx { mu } => Some(mu),
+            _ => None,
+        };
+        let updates = train_sampled(fd, cfg, &template, &global, &sampled, round, prox);
+
+        global = aggregate(variant, &global, &updates, num_params, state_len);
+
+        if cfg.should_eval(round) {
+            let per_client = evaluate_clients(fd, &template, |_| &global[..]);
+            history.push(RoundRecord {
+                round: round + 1,
+                avg_acc: average_accuracy(&per_client),
+                cum_mb: comm.total_mb(),
+            });
+        }
+    }
+
+    let per_client_acc = evaluate_clients(fd, &template, |_| &global[..]);
+    RunResult {
+        method: name.to_string(),
+        final_acc: average_accuracy(&per_client_acc),
+        per_client_acc,
+        history,
+        num_clusters: Some(1),
+        total_mb: comm.total_mb(),
+    }
+}
+
+/// The final global state of a FedAvg-family run (used by the newcomer
+/// experiment, which hands the global model to unseen clients).
+pub fn train_global_model(fd: &FederatedDataset, cfg: &FlConfig, variant: GlobalVariant) -> Vec<f32> {
+    let template = init_model(fd, cfg);
+    let num_params = template.num_params();
+    let state_len = template.state_len();
+    let mut global = template.state_vec();
+    let prox = match variant {
+        Variant::FedProx { mu } => Some(mu),
+        _ => None,
+    };
+    for round in 0..cfg.rounds {
+        let sampled = sample_clients(fd.num_clients(), cfg, round);
+        let updates = train_sampled(fd, cfg, &template, &global, &sampled, round, prox);
+        global = aggregate(variant, &global, &updates, num_params, state_len);
+    }
+    global
+}
+
+/// Apply one round's aggregation rule to the global state.
+fn aggregate(
+    variant: GlobalVariant,
+    global: &[f32],
+    updates: &[crate::engine::ClientUpdate],
+    num_params: usize,
+    state_len: usize,
+) -> Vec<f32> {
+    match variant {
+        Variant::FedAvg | Variant::FedProx { .. } => {
+            let items: Vec<(&[f32], f32)> = updates
+                .iter()
+                .map(|u| (u.state.as_slice(), u.weight))
+                .collect();
+            weighted_average(&items)
+        }
+        Variant::FedNova => {
+            // Normalised averaging over the *parameter* part:
+            //   th <- th - tau_eff * sum p_i (th - th_i)/tau_i,
+            // with p_i = n_i/sum n and tau_eff = sum p_i tau_i. The extra
+            // state (batch-norm statistics) has no step-count semantics and
+            // is plainly weight-averaged.
+            let mut out = global.to_vec();
+            let total_w: f64 = updates.iter().map(|u| u.weight as f64).sum();
+            let tau_eff: f64 = updates
+                .iter()
+                .map(|u| (u.weight as f64 / total_w) * u.steps as f64)
+                .sum();
+            let mut direction = vec![0.0f64; num_params];
+            for u in updates {
+                let p = u.weight as f64 / total_w;
+                let tau = (u.steps as f64).max(1.0);
+                for (d, (g, l)) in direction
+                    .iter_mut()
+                    .zip(global[..num_params].iter().zip(&u.state[..num_params]))
+                {
+                    *d += p * ((*g as f64) - (*l as f64)) / tau;
+                }
+            }
+            for (g, d) in out[..num_params].iter_mut().zip(&direction) {
+                *g = ((*g as f64) - tau_eff * d) as f32;
+            }
+            if state_len > num_params {
+                let items: Vec<(&[f32], f32)> = updates
+                    .iter()
+                    .map(|u| (&u.state[num_params..], u.weight))
+                    .collect();
+                let extra = weighted_average(&items);
+                out[num_params..].copy_from_slice(&extra);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
+
+    fn tiny_fd(seed: u64, skew: f32) -> FederatedDataset {
+        FederatedDataset::build(
+            DatasetProfile::FmnistLike,
+            Partition::LabelSkew { fraction: skew },
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 6,
+                samples_per_class: 40,
+                train_fraction: 0.8,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn fedavg_improves_over_random_init() {
+        let fd = tiny_fd(0, 0.5);
+        let mut cfg = FlConfig::tiny(0);
+        cfg.rounds = 5;
+        let result = FedAvg.run(&fd, &cfg);
+        // Random init on 10 classes ≈ 10 %; even a few rounds should beat it.
+        assert!(result.final_acc > 0.15, "final acc {}", result.final_acc);
+        assert_eq!(result.per_client_acc.len(), 6);
+        assert!(!result.history.is_empty());
+        assert!(result.total_mb > 0.0);
+    }
+
+    #[test]
+    fn history_rounds_are_ascending_with_monotone_mb() {
+        let fd = tiny_fd(1, 0.5);
+        let cfg = FlConfig::tiny(1);
+        let result = FedProx::default().run(&fd, &cfg);
+        for w in result.history.windows(2) {
+            assert!(w[0].round < w[1].round);
+            assert!(w[0].cum_mb <= w[1].cum_mb);
+        }
+    }
+
+    #[test]
+    fn fednova_runs_and_aggregates() {
+        let fd = tiny_fd(2, 0.5);
+        let cfg = FlConfig::tiny(2);
+        let result = FedNova.run(&fd, &cfg);
+        assert!(result.final_acc.is_finite());
+        assert!(result.final_acc >= 0.0 && result.final_acc <= 1.0);
+    }
+
+    #[test]
+    fn all_globals_have_same_comm_cost() {
+        let fd = tiny_fd(3, 0.5);
+        let cfg = FlConfig::tiny(3);
+        let a = FedAvg.run(&fd, &cfg);
+        let b = FedProx::default().run(&fd, &cfg);
+        let c = FedNova.run(&fd, &cfg);
+        assert!((a.total_mb - b.total_mb).abs() < 1e-9);
+        assert!((a.total_mb - c.total_mb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let fd = tiny_fd(4, 0.5);
+        let cfg = FlConfig::tiny(4);
+        let a = FedAvg.run(&fd, &cfg);
+        let b = FedAvg.run(&fd, &cfg);
+        assert_eq!(a.final_acc, b.final_acc);
+        assert_eq!(a.per_client_acc, b.per_client_acc);
+    }
+
+    #[test]
+    fn fednova_equals_fedavg_with_equal_local_steps() {
+        // With identical per-client dataset sizes every client takes the
+        // same τ_i, and FedNova's normalised update reduces algebraically
+        // to plain FedAvg. IID partitioning over a divisible pool gives
+        // exactly equal sizes.
+        let fd = FederatedDataset::build(
+            DatasetProfile::FmnistLike,
+            Partition::Iid,
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 4,
+                samples_per_class: 20,
+                train_fraction: 0.8,
+                seed: 5,
+            },
+        );
+        let mut cfg = FlConfig::tiny(5);
+        cfg.rounds = 2;
+        // Equal τ_i means equal minibatch counts per epoch.
+        let steps: Vec<usize> = fd
+            .clients
+            .iter()
+            .map(|c| c.train_samples().div_ceil(cfg.batch_size))
+            .collect();
+        assert!(
+            steps.iter().all(|&s| s == steps[0]),
+            "setup requires equal step counts, got {:?}",
+            steps
+        );
+        let nova = FedNova.run(&fd, &cfg);
+        let avg = FedAvg.run(&fd, &cfg);
+        assert!(
+            (nova.final_acc - avg.final_acc).abs() < 1e-6,
+            "FedNova {} vs FedAvg {}",
+            nova.final_acc,
+            avg.final_acc
+        );
+        assert_eq!(nova.per_client_acc, avg.per_client_acc);
+    }
+
+    #[test]
+    fn train_global_model_matches_run_trajectory() {
+        // The artifact-producing helper must follow the same rounds as the
+        // telemetry-producing run (same sampling streams, same updates).
+        let fd = tiny_fd(6, 0.4);
+        let mut cfg = FlConfig::tiny(6);
+        cfg.rounds = 2;
+        let run = FedAvg.run(&fd, &cfg);
+        let state = train_global_model(&fd, &cfg, GlobalVariant::FedAvg);
+        let template = init_model(&fd, &cfg);
+        let per_client = evaluate_clients(&fd, &template, |_| &state[..]);
+        let acc = crate::engine::average_accuracy(&per_client);
+        assert!((acc - run.final_acc).abs() < 1e-9);
+    }
+}

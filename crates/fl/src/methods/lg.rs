@@ -1,0 +1,191 @@
+//! LG-FedAvg (Liang et al. 2020): local low-level representations, global
+//! high-level layers.
+//!
+//! Each client keeps its own parameters for the first (feature-extraction)
+//! blocks and only the last `global_blocks` parameter blocks are
+//! communicated and averaged — hence its tiny communication cost in the
+//! paper's Table 5.
+
+use crate::comm::CommMeter;
+use crate::config::FlConfig;
+use crate::engine::{average_accuracy, init_model, local_train, sample_clients, weighted_average};
+use crate::methods::FlMethod;
+use crate::metrics::{RoundRecord, RunResult};
+use fedclust_data::FederatedDataset;
+use fedclust_nn::optim::Sgd;
+use rayon::prelude::*;
+
+/// LG-FedAvg with the paper's split: the last two parameter blocks are
+/// global (classifier head), everything below is local to each client.
+#[derive(Debug, Clone, Copy)]
+pub struct LgFedAvg {
+    /// Number of trailing parameter blocks treated as global.
+    pub global_blocks: usize,
+}
+
+impl Default for LgFedAvg {
+    fn default() -> Self {
+        LgFedAvg { global_blocks: 2 }
+    }
+}
+
+/// What an LG-FedAvg run leaves behind: the trained global head and where
+/// it sits in the parameter/state vector. Newcomers combine it with their
+/// own (freshly initialised) local layers.
+pub struct LgArtifacts {
+    /// The trained global tail (global param blocks + extra state).
+    pub global_part: Vec<f32>,
+    /// Offset in the state vector where the global part begins.
+    pub split: usize,
+}
+
+impl LgFedAvg {
+    /// Run and keep the trained global head (Table 6).
+    pub fn run_detailed(&self, fd: &FederatedDataset, cfg: &FlConfig) -> (RunResult, LgArtifacts) {
+        let template = init_model(fd, cfg);
+        let blocks = template.param_blocks();
+        assert!(
+            self.global_blocks < blocks.len(),
+            "need at least one local block"
+        );
+        // Offset (in the param vector) where the global part begins.
+        let split = blocks[blocks.len() - self.global_blocks].offset;
+        let num_params = template.num_params();
+        let state_len = template.state_len();
+        // The communicated payload: global param blocks + any extra state
+        // (batch-norm stats travel with the global part).
+        let comm_len = (num_params - split) + (state_len - num_params);
+
+        let init_state = template.state_vec();
+        let mut global_part: Vec<f32> = init_state[split..].to_vec();
+        // All clients start from the same θ⁰ (random init, as the paper
+        // configures LG for fairness).
+        let mut client_states: Vec<Vec<f32>> = vec![init_state.clone(); fd.num_clients()];
+        let mut comm = CommMeter::new();
+        let mut history = Vec::new();
+
+        for round in 0..cfg.rounds {
+            let sampled = sample_clients(fd.num_clients(), cfg, round);
+            for _ in &sampled {
+                comm.down(comm_len);
+                comm.up(comm_len);
+            }
+            let trained: Vec<(usize, Vec<f32>, f32)> = sampled
+                .par_iter()
+                .map(|&client| {
+                    let mut state = client_states[client].clone();
+                    state[split..].copy_from_slice(&global_part);
+                    let mut model = template.clone();
+                    model.set_state_vec(&state);
+                    let mut opt = Sgd::new(cfg.sgd());
+                    local_train(
+                        &mut model,
+                        &fd.clients[client],
+                        &mut opt,
+                        cfg.local_epochs,
+                        cfg.batch_size,
+                        cfg.seed,
+                        client,
+                        round,
+                    );
+                    (
+                        client,
+                        model.state_vec(),
+                        fd.clients[client].train_samples() as f32,
+                    )
+                })
+                .collect();
+            // Clients persist their full new state (local part matters);
+            // the server averages only the global tail.
+            let items: Vec<(&[f32], f32)> = trained
+                .iter()
+                .map(|(_, s, w)| (&s[split..], *w))
+                .collect();
+            global_part = weighted_average(&items);
+            for (client, state, _) in trained {
+                client_states[client] = state;
+            }
+
+            if cfg.should_eval(round) {
+                let per_client = self.evaluate(fd, &template, &client_states, &global_part, split);
+                history.push(RoundRecord {
+                    round: round + 1,
+                    avg_acc: average_accuracy(&per_client),
+                    cum_mb: comm.total_mb(),
+                });
+            }
+        }
+
+        let per_client_acc = self.evaluate(fd, &template, &client_states, &global_part, split);
+        let result = RunResult {
+            method: self.name().to_string(),
+            final_acc: average_accuracy(&per_client_acc),
+            per_client_acc,
+            history,
+            num_clusters: None,
+            total_mb: comm.total_mb(),
+        };
+        (result, LgArtifacts { global_part, split })
+    }
+}
+
+impl FlMethod for LgFedAvg {
+    fn name(&self) -> &'static str {
+        "LG"
+    }
+
+    fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+        self.run_detailed(fd, cfg).0
+    }
+}
+
+impl LgFedAvg {
+    fn evaluate(
+        &self,
+        fd: &FederatedDataset,
+        template: &fedclust_nn::Model,
+        client_states: &[Vec<f32>],
+        global_part: &[f32],
+        split: usize,
+    ) -> Vec<f32> {
+        let states: Vec<Vec<f32>> = client_states
+            .iter()
+            .map(|s| {
+                let mut state = s.clone();
+                state[split..].copy_from_slice(global_part);
+                state
+            })
+            .collect();
+        crate::engine::evaluate_clients(fd, template, |c| states[c].as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedclust_data::{DatasetProfile, Partition};
+
+    #[test]
+    fn lg_communicates_less_than_fedavg() {
+        let fd = FederatedDataset::build(
+            DatasetProfile::FmnistLike,
+            Partition::LabelSkew { fraction: 0.3 },
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 6,
+                samples_per_class: 30,
+                train_fraction: 0.8,
+                seed: 0,
+            },
+        );
+        let cfg = FlConfig::tiny(0);
+        let lg = LgFedAvg::default().run(&fd, &cfg);
+        let fedavg = crate::methods::FedAvg.run(&fd, &cfg);
+        assert!(
+            lg.total_mb < fedavg.total_mb * 0.8,
+            "LG {} vs FedAvg {}",
+            lg.total_mb,
+            fedavg.total_mb
+        );
+        assert!(lg.final_acc.is_finite());
+    }
+}

@@ -1,0 +1,64 @@
+//! The baseline FL methods the paper compares against.
+//!
+//! All methods implement [`FlMethod`], returning a [`RunResult`] with the
+//! same telemetry, so the experiment harnesses treat FedClust and every
+//! baseline uniformly.
+
+use crate::config::FlConfig;
+use crate::metrics::RunResult;
+use fedclust_data::FederatedDataset;
+
+pub mod cfl;
+pub mod feddyn;
+pub mod global;
+pub mod ifca;
+pub mod lg;
+pub mod local;
+pub mod pacfl;
+pub mod perfedavg;
+pub mod scaffold;
+
+pub use cfl::Cfl;
+pub use feddyn::FedDyn;
+pub use global::{FedAvg, FedNova, FedProx};
+pub use ifca::Ifca;
+pub use lg::LgFedAvg;
+pub use local::LocalOnly;
+pub use pacfl::Pacfl;
+pub use perfedavg::PerFedAvg;
+pub use scaffold::Scaffold;
+
+/// A federated learning method that can run a full experiment.
+pub trait FlMethod: Sync {
+    /// Display name, matching the paper's tables (e.g. `"FedAvg"`).
+    fn name(&self) -> &'static str;
+
+    /// Run the method on a federated dataset and return its telemetry.
+    fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult;
+}
+
+/// All nine baselines with the paper's hyper-parameters, in table order.
+/// (FedClust itself is provided by the `fedclust` crate.)
+pub fn baselines() -> Vec<Box<dyn FlMethod>> {
+    vec![
+        Box::new(LocalOnly::default()),
+        Box::new(FedAvg::default()),
+        Box::new(FedProx::default()),
+        Box::new(FedNova::default()),
+        Box::new(LgFedAvg::default()),
+        Box::new(PerFedAvg::default()),
+        Box::new(Cfl::default()),
+        Box::new(Ifca::default()),
+        Box::new(Pacfl::default()),
+    ]
+}
+
+/// Additional drift-mitigation methods the paper's §2.1 discusses but does
+/// not put in its tables: SCAFFOLD (variance reduction via control
+/// variates) and FedDyn (dynamic regularization).
+pub fn extended_baselines() -> Vec<Box<dyn FlMethod>> {
+    vec![
+        Box::new(Scaffold::default()),
+        Box::new(FedDyn::default()),
+    ]
+}

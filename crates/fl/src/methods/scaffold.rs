@@ -1,0 +1,256 @@
+//! SCAFFOLD (Karimireddy et al. 2020): stochastic controlled averaging.
+//!
+//! The paper's §2.1 discusses SCAFFOLD as the variance-reduction approach
+//! to client drift: the server keeps a global control variate `c` and each
+//! client a local one `c_i`; local SGD steps use the corrected gradient
+//! `g + c − c_i`, which cancels the client-specific drift direction. After
+//! `K` local steps the client refreshes its control variate with
+//! `c_i⁺ = c_i − c + (x − w)/(K·η)` (option II of the paper) and uploads
+//! both Δw and Δc.
+//!
+//! SCAFFOLD is not in the paper's main tables, but it is implemented here
+//! as part of the related-work baseline suite (see `methods::extended`).
+
+use crate::comm::CommMeter;
+use crate::config::FlConfig;
+use crate::engine::{average_accuracy, evaluate_clients, init_model, sample_clients};
+use crate::methods::FlMethod;
+use crate::metrics::{RoundRecord, RunResult};
+use fedclust_data::FederatedDataset;
+use fedclust_nn::loss::cross_entropy;
+use fedclust_nn::Model;
+use fedclust_tensor::rng::{derive, streams};
+use rayon::prelude::*;
+
+/// SCAFFOLD with server learning rate `eta_g` (the paper's ηg; 1.0 keeps
+/// plain averaging of the client deltas).
+#[derive(Debug, Clone, Copy)]
+pub struct Scaffold {
+    /// Server step size applied to the averaged client delta.
+    pub eta_g: f32,
+}
+
+impl Default for Scaffold {
+    fn default() -> Self {
+        Scaffold { eta_g: 1.0 }
+    }
+}
+
+struct LocalOutcome {
+    client: usize,
+    delta_w: Vec<f32>,
+    delta_c: Vec<f32>,
+    new_ci: Vec<f32>,
+    extra_state: Vec<f32>,
+    weight: f32,
+}
+
+impl Scaffold {
+    /// One client's controlled local training pass.
+    #[allow(clippy::too_many_arguments)]
+    fn local_train(
+        &self,
+        template: &Model,
+        global_params: &[f32],
+        global_extra: &[f32],
+        c_global: &[f32],
+        c_i: &[f32],
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        client: usize,
+        round: usize,
+    ) -> LocalOutcome {
+        let mut model = template.clone();
+        let mut state = global_params.to_vec();
+        state.extend_from_slice(global_extra);
+        model.set_state_vec(&state);
+
+        let data = &fd.clients[client];
+        let mut rng = derive(cfg.seed, &[streams::LOCAL_TRAIN, client as u64, round as u64]);
+        let mut steps = 0usize;
+        for _ in 0..cfg.local_epochs {
+            for batch in data.train.minibatch_indices(cfg.batch_size, &mut rng) {
+                let (x, y) = data.train.batch(&batch);
+                let logits = model.forward(x, true);
+                let (_, grad) = cross_entropy(&logits, &y);
+                model.backward(grad);
+                // Corrected step: w ← w − η (g + c − c_i), plain SGD.
+                let mut off = 0;
+                for p in model.params_mut() {
+                    let n = p.value.numel();
+                    for j in 0..n {
+                        let g = p.grad.data()[j] + c_global[off + j] - c_i[off + j];
+                        p.value.data_mut()[j] -= cfg.lr * g;
+                    }
+                    p.zero_grad();
+                    off += n;
+                }
+                steps += 1;
+            }
+        }
+        let w = model.param_vec();
+        let k_eta = (steps.max(1) as f32) * cfg.lr;
+        // Option II control-variate refresh.
+        let new_ci: Vec<f32> = (0..w.len())
+            .map(|j| c_i[j] - c_global[j] + (global_params[j] - w[j]) / k_eta)
+            .collect();
+        let delta_w: Vec<f32> = w.iter().zip(global_params).map(|(a, b)| a - b).collect();
+        let delta_c: Vec<f32> = new_ci.iter().zip(c_i).map(|(a, b)| a - b).collect();
+        let full_state = model.state_vec();
+        let extra_state = full_state[w.len()..].to_vec();
+        LocalOutcome {
+            client,
+            delta_w,
+            delta_c,
+            new_ci,
+            extra_state,
+            weight: data.train_samples() as f32,
+        }
+    }
+}
+
+impl FlMethod for Scaffold {
+    fn name(&self) -> &'static str {
+        "SCAFFOLD"
+    }
+
+    fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+        let template = init_model(fd, cfg);
+        let num_params = template.num_params();
+        let state_len = template.state_len();
+        let mut state = template.state_vec();
+        let mut c_global = vec![0.0f32; num_params];
+        let mut c_clients: Vec<Vec<f32>> = vec![vec![0.0f32; num_params]; fd.num_clients()];
+        let mut comm = CommMeter::new();
+        let mut history = Vec::new();
+
+        for round in 0..cfg.rounds {
+            let sampled = sample_clients(fd.num_clients(), cfg, round);
+            for _ in &sampled {
+                // Down: model state + global control variate.
+                comm.down(state_len + num_params);
+                // Up: Δw (+ extra state) + Δc.
+                comm.up(state_len + num_params);
+            }
+            let (params, extra) = state.split_at(num_params);
+            let outcomes: Vec<LocalOutcome> = sampled
+                .par_iter()
+                .map(|&client| {
+                    self.local_train(
+                        &template,
+                        params,
+                        extra,
+                        &c_global,
+                        &c_clients[client],
+                        fd,
+                        cfg,
+                        client,
+                        round,
+                    )
+                })
+                .collect();
+
+            // Server update: x ← x + ηg · mean Δw; c ← c + (|S|/N) mean Δc.
+            let s = outcomes.len() as f32;
+            let scale_c = s / fd.num_clients() as f32;
+            let mut mean_dw = vec![0.0f64; num_params];
+            let mut mean_dc = vec![0.0f64; num_params];
+            for o in &outcomes {
+                for j in 0..num_params {
+                    mean_dw[j] += o.delta_w[j] as f64 / s as f64;
+                    mean_dc[j] += o.delta_c[j] as f64 / s as f64;
+                }
+            }
+            for j in 0..num_params {
+                state[j] += self.eta_g * mean_dw[j] as f32;
+                c_global[j] += scale_c * mean_dc[j] as f32;
+            }
+            // Extra state (batch-norm stats): sample-size-weighted average.
+            if state_len > num_params {
+                let items: Vec<(&[f32], f32)> = outcomes
+                    .iter()
+                    .map(|o| (o.extra_state.as_slice(), o.weight))
+                    .collect();
+                let extra = crate::engine::weighted_average(&items);
+                state[num_params..].copy_from_slice(&extra);
+            }
+            for o in outcomes {
+                c_clients[o.client] = o.new_ci;
+            }
+
+            if cfg.should_eval(round) {
+                let per_client = evaluate_clients(fd, &template, |_| &state[..]);
+                history.push(RoundRecord {
+                    round: round + 1,
+                    avg_acc: average_accuracy(&per_client),
+                    cum_mb: comm.total_mb(),
+                });
+            }
+        }
+
+        let per_client_acc = evaluate_clients(fd, &template, |_| &state[..]);
+        RunResult {
+            method: self.name().to_string(),
+            final_acc: average_accuracy(&per_client_acc),
+            per_client_acc,
+            history,
+            num_clusters: Some(1),
+            total_mb: comm.total_mb(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedclust_data::{DatasetProfile, Partition};
+
+    fn tiny_fd(seed: u64) -> FederatedDataset {
+        FederatedDataset::build(
+            DatasetProfile::FmnistLike,
+            Partition::LabelSkew { fraction: 0.5 },
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 6,
+                samples_per_class: 30,
+                train_fraction: 0.8,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn scaffold_learns_and_costs_double_fedavg_per_round() {
+        let fd = tiny_fd(0);
+        let mut cfg = FlConfig::tiny(0);
+        cfg.rounds = 5;
+        let r = Scaffold::default().run(&fd, &cfg);
+        assert!(r.final_acc > 0.15, "acc {}", r.final_acc);
+        // SCAFFOLD moves control variates alongside the model: roughly 2×
+        // FedAvg's bytes per round (exact factor depends on extra state).
+        let fedavg = crate::methods::FedAvg.run(&fd, &cfg);
+        let ratio = r.total_mb / fedavg.total_mb;
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn scaffold_is_deterministic() {
+        let fd = tiny_fd(1);
+        let cfg = FlConfig::tiny(1);
+        let a = Scaffold::default().run(&fd, &cfg);
+        let b = Scaffold::default().run(&fd, &cfg);
+        assert_eq!(a.per_client_acc, b.per_client_acc);
+    }
+
+    #[test]
+    fn control_variates_start_at_zero_so_round_one_matches_plain_sgd() {
+        // With c = c_i = 0 the first local pass is exactly uncorrected SGD
+        // (no momentum); SCAFFOLD must therefore produce finite, sane
+        // updates from the very first round.
+        let fd = tiny_fd(2);
+        let mut cfg = FlConfig::tiny(2);
+        cfg.rounds = 1;
+        let r = Scaffold::default().run(&fd, &cfg);
+        assert!(r.final_acc.is_finite());
+        assert!(!r.history.is_empty());
+    }
+}

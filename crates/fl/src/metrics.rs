@@ -1,0 +1,269 @@
+//! Run telemetry and derived evaluation metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluation point in a run's history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 1-based round index at which the evaluation happened.
+    pub round: usize,
+    /// Average local test accuracy across all clients, in `[0, 1]`.
+    pub avg_acc: f64,
+    /// Cumulative communication cost (Mb) up to and including this round.
+    pub cum_mb: f64,
+}
+
+/// The result of one full FL run with one method on one federated dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Method name.
+    pub method: String,
+    /// Final average local test accuracy in `[0, 1]`.
+    pub final_acc: f64,
+    /// Per-client final local test accuracies.
+    pub per_client_acc: Vec<f32>,
+    /// Accuracy/communication trajectory (Fig. 3, Tables 4–5).
+    pub history: Vec<RoundRecord>,
+    /// Number of clusters formed, for cluster-based methods.
+    pub num_clusters: Option<usize>,
+    /// Total communication cost of the run (Mb).
+    pub total_mb: f64,
+}
+
+impl RunResult {
+    /// First round at which the average accuracy reached `target`
+    /// (Table 4). `None` if never reached.
+    pub fn rounds_to_target(&self, target: f64) -> Option<usize> {
+        self.history
+            .iter()
+            .find(|r| r.avg_acc >= target)
+            .map(|r| r.round)
+    }
+
+    /// Cumulative communication (Mb) when `target` accuracy was first
+    /// reached (Table 5). `None` if never reached.
+    pub fn mb_to_target(&self, target: f64) -> Option<f64> {
+        self.history
+            .iter()
+            .find(|r| r.avg_acc >= target)
+            .map(|r| r.cum_mb)
+    }
+}
+
+/// Fairness statistics over per-client accuracies — the dispersion view
+/// behind the paper's motivation that a single global model leaves some
+/// clients far behind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fairness {
+    /// Mean per-client accuracy.
+    pub mean: f64,
+    /// Population standard deviation across clients.
+    pub std: f64,
+    /// Mean accuracy of the worst-off 10 % of clients (at least one).
+    pub worst_decile: f64,
+    /// Mean accuracy of the best-off 10 % of clients (at least one).
+    pub best_decile: f64,
+}
+
+impl Fairness {
+    /// Compute fairness statistics from per-client accuracies.
+    /// Returns all-zero stats for an empty slice.
+    pub fn from_accuracies(per_client: &[f32]) -> Fairness {
+        if per_client.is_empty() {
+            return Fairness {
+                mean: 0.0,
+                std: 0.0,
+                worst_decile: 0.0,
+                best_decile: 0.0,
+            };
+        }
+        let xs: Vec<f64> = per_client.iter().map(|&a| a as f64).collect();
+        let (mean, std) = mean_std(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let k = (sorted.len() / 10).max(1);
+        let worst_decile = sorted[..k].iter().sum::<f64>() / k as f64;
+        let best_decile = sorted[sorted.len() - k..].iter().sum::<f64>() / k as f64;
+        Fairness {
+            mean,
+            std,
+            worst_decile,
+            best_decile,
+        }
+    }
+
+    /// The best-to-worst decile gap; 0 means perfectly even outcomes.
+    pub fn decile_gap(&self) -> f64 {
+        self.best_decile - self.worst_decile
+    }
+}
+
+/// Mean and (population) standard deviation of a sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Aggregate the same method's results across seeds: mean ± std of final
+/// accuracy, plus the per-seed results for downstream use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeedAggregate {
+    /// Method name.
+    pub method: String,
+    /// Mean final accuracy across seeds.
+    pub mean_acc: f64,
+    /// Std of final accuracy across seeds.
+    pub std_acc: f64,
+    /// The per-seed runs.
+    pub runs: Vec<RunResult>,
+}
+
+impl SeedAggregate {
+    /// Aggregate runs that must all share one method name.
+    ///
+    /// # Panics
+    /// Panics if `runs` is empty or methods differ.
+    pub fn from_runs(runs: Vec<RunResult>) -> Self {
+        assert!(!runs.is_empty(), "no runs to aggregate");
+        let method = runs[0].method.clone();
+        assert!(
+            runs.iter().all(|r| r.method == method),
+            "aggregating runs of different methods"
+        );
+        let accs: Vec<f64> = runs.iter().map(|r| r.final_acc).collect();
+        let (mean_acc, std_acc) = mean_std(&accs);
+        SeedAggregate {
+            method,
+            mean_acc,
+            std_acc,
+            runs,
+        }
+    }
+
+    /// Median rounds-to-target across seeds (`None` if a majority of seeds
+    /// never reached the target).
+    pub fn rounds_to_target(&self, target: f64) -> Option<usize> {
+        let mut vals: Vec<usize> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.rounds_to_target(target))
+            .collect();
+        if vals.len() * 2 < self.runs.len() {
+            return None;
+        }
+        vals.sort_unstable();
+        Some(vals[vals.len() / 2])
+    }
+
+    /// Median Mb-to-target across seeds (same reachability rule).
+    pub fn mb_to_target(&self, target: f64) -> Option<f64> {
+        let mut vals: Vec<f64> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.mb_to_target(target))
+            .collect();
+        if vals.len() * 2 < self.runs.len() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(vals[vals.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(accs: &[(usize, f64, f64)], final_acc: f64) -> RunResult {
+        RunResult {
+            method: "m".into(),
+            final_acc,
+            per_client_acc: vec![],
+            history: accs
+                .iter()
+                .map(|&(round, avg_acc, cum_mb)| RoundRecord {
+                    round,
+                    avg_acc,
+                    cum_mb,
+                })
+                .collect(),
+            num_clusters: None,
+            total_mb: accs.last().map_or(0.0, |l| l.2),
+        }
+    }
+
+    #[test]
+    fn targets_found_at_first_crossing() {
+        let r = run(&[(2, 0.3, 1.0), (4, 0.6, 2.0), (6, 0.8, 3.0)], 0.8);
+        assert_eq!(r.rounds_to_target(0.5), Some(4));
+        assert_eq!(r.mb_to_target(0.5), Some(2.0));
+        assert_eq!(r.rounds_to_target(0.9), None);
+        assert_eq!(r.mb_to_target(0.9), None);
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn aggregate_across_seeds() {
+        let runs = vec![
+            run(&[(2, 0.5, 1.0)], 0.5),
+            run(&[(2, 0.7, 1.0)], 0.7),
+            run(&[(2, 0.6, 1.0)], 0.6),
+        ];
+        let agg = SeedAggregate::from_runs(runs);
+        assert!((agg.mean_acc - 0.6).abs() < 1e-12);
+        assert!(agg.std_acc > 0.0);
+        assert_eq!(agg.rounds_to_target(0.55), Some(2));
+        assert_eq!(agg.rounds_to_target(0.65), None, "only 1 of 3 reached");
+    }
+
+    #[test]
+    fn fairness_statistics() {
+        let accs = [0.1f32, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+        let f = Fairness::from_accuracies(&accs);
+        assert!((f.mean - 0.55).abs() < 1e-6);
+        assert!((f.worst_decile - 0.1).abs() < 1e-6);
+        assert!((f.best_decile - 1.0).abs() < 1e-6);
+        assert!((f.decile_gap() - 0.9).abs() < 1e-6);
+        assert!(f.std > 0.0);
+    }
+
+    #[test]
+    fn fairness_uniform_accuracies_have_zero_gap() {
+        let f = Fairness::from_accuracies(&[0.5; 7]);
+        assert_eq!(f.std, 0.0);
+        assert_eq!(f.decile_gap(), 0.0);
+        assert_eq!(f.mean, 0.5);
+    }
+
+    #[test]
+    fn fairness_empty_and_singleton() {
+        let empty = Fairness::from_accuracies(&[]);
+        assert_eq!(empty.mean, 0.0);
+        let single = Fairness::from_accuracies(&[0.7]);
+        assert!((single.mean - 0.7).abs() < 1e-6);
+        assert!((single.worst_decile - 0.7).abs() < 1e-6);
+        assert!((single.best_decile - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different methods")]
+    fn mixed_methods_panic() {
+        let mut a = run(&[], 0.1);
+        let mut b = run(&[], 0.2);
+        a.method = "x".into();
+        b.method = "y".into();
+        let _ = SeedAggregate::from_runs(vec![a, b]);
+    }
+}

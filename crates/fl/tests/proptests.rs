@@ -1,0 +1,88 @@
+//! Property-based tests of the FL engine's deterministic machinery.
+
+use fedclust_fl::engine::{sample_clients, weighted_average};
+use fedclust_fl::metrics::{RoundRecord, RunResult};
+use fedclust_fl::FlConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Client sampling respects the `max(R·N, 1)` size rule, stays within
+    /// bounds, has no duplicates, and is deterministic per (seed, round).
+    #[test]
+    fn sampling_contract(
+        num_clients in 1usize..200,
+        rate_pct in 1u32..100,
+        seed in 0u64..1000,
+        round in 0usize..50,
+    ) {
+        let mut cfg = FlConfig::tiny(seed);
+        cfg.sample_rate = rate_pct as f32 / 100.0;
+        let sampled = sample_clients(num_clients, &cfg, round);
+        let expected = ((cfg.sample_rate * num_clients as f32).round() as usize)
+            .clamp(1, num_clients);
+        prop_assert_eq!(sampled.len(), expected);
+        let mut dedup = sampled.clone();
+        dedup.dedup();
+        prop_assert_eq!(&dedup, &sampled, "sorted output must have no duplicates");
+        prop_assert!(sampled.iter().all(|&c| c < num_clients));
+        prop_assert_eq!(sample_clients(num_clients, &cfg, round), sampled);
+    }
+
+    /// Over many rounds, sampling covers every client (no starvation) for
+    /// moderate rates.
+    #[test]
+    fn sampling_eventually_covers_everyone(seed in 0u64..200) {
+        let mut cfg = FlConfig::tiny(seed);
+        cfg.sample_rate = 0.3;
+        let n = 12;
+        let mut seen = vec![false; n];
+        for round in 0..60 {
+            for c in sample_clients(n, &cfg, round) {
+                seen[c] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "unseen clients: {:?}", seen);
+    }
+
+    /// Weighted averaging is invariant to permuting its inputs.
+    #[test]
+    fn weighted_average_permutation_invariant(
+        states in proptest::collection::vec(
+            (proptest::collection::vec(-5.0f32..5.0, 4), 0.1f32..5.0), 2..6),
+    ) {
+        let fwd: Vec<(&[f32], f32)> = states.iter().map(|(s, w)| (s.as_slice(), *w)).collect();
+        let rev: Vec<(&[f32], f32)> = states.iter().rev().map(|(s, w)| (s.as_slice(), *w)).collect();
+        let a = weighted_average(&fwd);
+        let b = weighted_average(&rev);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// rounds_to_target and mb_to_target agree with a manual scan of the
+    /// history for any monotone-mb trajectory.
+    #[test]
+    fn targets_match_manual_scan(
+        accs in proptest::collection::vec(0.0f64..1.0, 1..12),
+        target in 0.0f64..1.0,
+    ) {
+        let history: Vec<RoundRecord> = accs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| RoundRecord { round: i + 1, avg_acc: a, cum_mb: (i + 1) as f64 })
+            .collect();
+        let run = RunResult {
+            method: "m".into(),
+            final_acc: *accs.last().unwrap(),
+            per_client_acc: vec![],
+            history: history.clone(),
+            num_clusters: None,
+            total_mb: history.last().unwrap().cum_mb,
+        };
+        let manual = history.iter().find(|r| r.avg_acc >= target);
+        prop_assert_eq!(run.rounds_to_target(target), manual.map(|r| r.round));
+        prop_assert_eq!(run.mb_to_target(target), manual.map(|r| r.cum_mb));
+    }
+}

@@ -1,0 +1,279 @@
+//! 2-d convolution layer via im2col + GEMM.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use fedclust_tensor::conv::{col2im, im2col, Conv2dGeom};
+use fedclust_tensor::init::he_normal;
+use fedclust_tensor::matmul::{matmul, matmul_tn};
+use fedclust_tensor::Tensor;
+use rand::Rng;
+
+/// A 2-d convolution over `(batch, C_in, H, W)` inputs producing
+/// `(batch, C_out, OH, OW)`.
+///
+/// Weights are stored `(C_out, C_in·KH·KW)` — already in GEMM layout — with
+/// a per-output-channel bias. Forward lowers each image with `im2col` and
+/// multiplies; backward uses the adjoint `col2im` scatter.
+#[derive(Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    geom: Conv2dGeom,
+    out_channels: usize,
+    cached_cols: Vec<Tensor>,
+}
+
+impl Conv2d {
+    /// New conv layer with He-normal weights and zero bias.
+    ///
+    /// # Panics
+    /// Panics if the geometry is invalid (kernel larger than padded input).
+    pub fn new(geom: Conv2dGeom, out_channels: usize, rng: &mut impl Rng) -> Self {
+        geom.validate().expect("invalid conv geometry");
+        let fan_in = geom.col_rows();
+        let weight = he_normal([out_channels, fan_in], fan_in, rng);
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros([out_channels])),
+            geom,
+            out_channels,
+            cached_cols: Vec::new(),
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> &Conv2dGeom {
+        &self.geom
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Shape of this layer's output for a batch of `b` images.
+    pub fn out_shape(&self, b: usize) -> [usize; 4] {
+        [b, self.out_channels, self.geom.out_h(), self.geom.out_w()]
+    }
+
+    fn image(&self, x: &Tensor, b: usize) -> Tensor {
+        let g = &self.geom;
+        let sz = g.in_channels * g.in_h * g.in_w;
+        Tensor::from_vec(
+            [g.in_channels, g.in_h, g.in_w],
+            x.data()[b * sz..(b + 1) * sz].to_vec(),
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let g = self.geom;
+        assert_eq!(x.shape().ndim(), 4, "conv2d expects (batch, C, H, W)");
+        assert_eq!(
+            &x.dims()[1..],
+            &[g.in_channels, g.in_h, g.in_w],
+            "conv2d input geometry mismatch"
+        );
+        let batch = x.dims()[0];
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let ocols = oh * ow;
+        let mut out = vec![0.0f32; batch * self.out_channels * ocols];
+        if train {
+            self.cached_cols.clear();
+        }
+        for b in 0..batch {
+            let img = self.image(&x, b);
+            let cols = im2col(&img, &g);
+            // (C_out × rows) * (rows × ocols)
+            let y = matmul(&self.weight.value, &cols);
+            let dst = &mut out[b * self.out_channels * ocols..(b + 1) * self.out_channels * ocols];
+            dst.copy_from_slice(y.data());
+            for (c, chunk) in dst.chunks_mut(ocols).enumerate() {
+                let bv = self.bias.value.data()[c];
+                for v in chunk.iter_mut() {
+                    *v += bv;
+                }
+            }
+            if train {
+                self.cached_cols.push(cols);
+            }
+        }
+        Tensor::from_vec([batch, self.out_channels, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let g = self.geom;
+        let batch = grad_out.dims()[0];
+        assert_eq!(
+            self.cached_cols.len(),
+            batch,
+            "conv2d backward called without matching cached forward"
+        );
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let ocols = oh * ow;
+        let in_sz = g.in_channels * g.in_h * g.in_w;
+        let mut dx = vec![0.0f32; batch * in_sz];
+        for b in 0..batch {
+            let gslice = &grad_out.data()
+                [b * self.out_channels * ocols..(b + 1) * self.out_channels * ocols];
+            let gmat = Tensor::from_vec([self.out_channels, ocols], gslice.to_vec());
+            let cols = &self.cached_cols[b];
+            // dW += gmat (C_out×ocols) * cols^T (ocols×rows)
+            let dw = matmul(&gmat, &cols.transpose2());
+            self.weight.grad.axpy(1.0, &dw);
+            // db += per-channel sums.
+            {
+                let db = self.bias.grad.data_mut();
+                for (c, chunk) in gslice.chunks(ocols).enumerate() {
+                    db[c] += chunk.iter().sum::<f32>();
+                }
+            }
+            // dcols = W^T (rows×C_out) * gmat — via matmul_tn on (C_out×rows).
+            let dcols = matmul_tn(&self.weight.value, &gmat);
+            let dimg = col2im(&dcols, &g);
+            dx[b * in_sz..(b + 1) * in_sz].copy_from_slice(dimg.data());
+        }
+        self.cached_cols.clear();
+        Tensor::from_vec([batch, g.in_channels, g.in_h, g.in_w], dx)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize) -> Conv2dGeom {
+        Conv2dGeom {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            k_h: k,
+            k_w: k,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(geom(3, 8, 8, 3), 5, &mut rng);
+        let y = conv.forward(Tensor::zeros([2, 3, 8, 8]), false);
+        assert_eq!(y.dims(), &[2, 5, 6, 6]);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1 input channel, 1 output channel, 1x1 kernel with weight 1.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(geom(1, 4, 4, 1), 1, &mut rng);
+        conv.params_mut()[0].value.data_mut()[0] = 1.0;
+        conv.params_mut()[1].value.fill_zero();
+        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|v| v as f32).collect());
+        let y = conv.forward(x.clone(), false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_sum_kernel() {
+        // 2x2 all-ones kernel sums each patch.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(geom(1, 3, 3, 2), 1, &mut rng);
+        for w in conv.params_mut()[0].value.data_mut() {
+            *w = 1.0;
+        }
+        conv.params_mut()[1].value.fill_zero();
+        let x = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(x, false);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn bias_shifts_every_output() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(geom(1, 3, 3, 3), 2, &mut rng);
+        conv.params_mut()[0].value.fill_zero();
+        conv.params_mut()[1].value.data_mut().copy_from_slice(&[2.5, -1.5]);
+        let y = conv.forward(Tensor::zeros([1, 1, 3, 3]), false);
+        assert_eq!(y.data(), &[2.5, -1.5]);
+    }
+
+    /// Gradient check through L = 0.5·||y||².
+    #[test]
+    fn gradient_check() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let g = Conv2dGeom {
+            in_channels: 2,
+            in_h: 5,
+            in_w: 5,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut conv = Conv2d::new(g, 3, &mut rng);
+        let x = fedclust_tensor::init::randn([2, 2, 5, 5], &mut rng);
+
+        let y = conv.forward(x.clone(), true);
+        let dx = conv.backward(y);
+
+        let eps = 1e-2f32;
+        let loss = |conv: &mut Conv2d, x: &Tensor| {
+            let y = conv.forward(x.clone(), false);
+            0.5 * y.data().iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>() as f32
+        };
+        // Weight gradient spot checks.
+        for &(i, j) in &[(0usize, 0usize), (2, 7), (1, 17)] {
+            let old = conv.weight.value.at(&[i, j]);
+            *conv.weight.value.at_mut(&[i, j]) = old + eps;
+            let lp = loss(&mut conv, &x);
+            *conv.weight.value.at_mut(&[i, j]) = old - eps;
+            let lm = loss(&mut conv, &x);
+            *conv.weight.value.at_mut(&[i, j]) = old;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = conv.weight.grad.at(&[i, j]);
+            let scale = analytic.abs().max(1.0);
+            assert!(
+                (numeric - analytic).abs() / scale < 5e-2,
+                "dW[{},{}]: numeric {} analytic {}",
+                i,
+                j,
+                numeric,
+                analytic
+            );
+        }
+        // Input gradient spot check.
+        let idx = [1usize, 1, 2, 3];
+        let mut xp = x.clone();
+        *xp.at_mut(&idx) += eps;
+        let lp = loss(&mut conv, &xp);
+        *xp.at_mut(&idx) -= 2.0 * eps;
+        let lm = loss(&mut conv, &xp);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = dx.at(&idx);
+        assert!(
+            (numeric - analytic).abs() / analytic.abs().max(1.0) < 5e-2,
+            "dx: numeric {} analytic {}",
+            numeric,
+            analytic
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Softmax cross-entropy loss with fused gradient.
+
+use fedclust_tensor::ops::{log_softmax_rows, softmax_rows};
+use fedclust_tensor::Tensor;
+
+/// Mean softmax cross-entropy over a batch of logits.
+///
+/// Returns `(loss, dloss/dlogits)`. The gradient is the classic fused form
+/// `(softmax(logits) − onehot(targets)) / batch`, which is both faster and
+/// more numerically robust than differentiating softmax and NLL separately.
+///
+/// # Panics
+/// Panics if `logits` is not `(batch, classes)`, if `targets.len() != batch`,
+/// or if any target is out of range.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().ndim(), 2, "cross_entropy expects (batch, classes)");
+    let (b, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(targets.len(), b, "target count must match batch size");
+    assert!(b > 0, "empty batch");
+    let ls = log_softmax_rows(logits);
+    let mut loss = 0.0f64;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < c, "target {} out of range for {} classes", t, c);
+        loss -= ls.at(&[i, t]) as f64;
+    }
+    let loss = (loss / b as f64) as f32;
+
+    let mut grad = softmax_rows(logits);
+    let inv_b = 1.0 / b as f32;
+    for (i, &t) in targets.iter().enumerate() {
+        *grad.at_mut(&[i, t]) -= 1.0;
+    }
+    grad.scale(inv_b);
+    (loss, grad)
+}
+
+/// Classification accuracy of logits against integer targets, in `[0, 1]`.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let preds = fedclust_tensor::ops::argmax_rows(logits);
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+    correct as f32 / preds.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Tensor::from_vec([1, 3], vec![10.0, 0.0, 0.0]);
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 0.5]);
+        let (_, grad) = cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits = Tensor::from_vec([2, 3], vec![0.5, -0.2, 0.1, 1.0, 1.0, -1.0]);
+        let targets = [1usize, 0];
+        let (_, grad) = cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut lp = logits.clone();
+                *lp.at_mut(&[i, j]) += eps;
+                let (l1, _) = cross_entropy(&lp, &targets);
+                *lp.at_mut(&[i, j]) -= 2.0 * eps;
+                let (l2, _) = cross_entropy(&lp, &targets);
+                let numeric = (l1 - l2) / (2.0 * eps);
+                assert!(
+                    (numeric - grad.at(&[i, j])).abs() < 1e-3,
+                    "grad[{},{}] numeric {} analytic {}",
+                    i,
+                    j,
+                    numeric,
+                    grad.at(&[i, j])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec([3, 2], vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-6);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_panics() {
+        let _ = cross_entropy(&Tensor::zeros([1, 2]), &[5]);
+    }
+}

@@ -1,0 +1,248 @@
+//! `im2col` / `col2im` lowering for 2-d convolutions.
+//!
+//! Convolutions in `fedclust-nn` are computed as a single GEMM over an
+//! im2col patch matrix. For the forward pass, a `(C_in·KH·KW) × (OH·OW)`
+//! matrix is built per image; the backward pass for the input gradient uses
+//! the adjoint scatter `col2im`.
+
+use crate::tensor::Tensor;
+
+/// Static description of a 2-d convolution geometry (single image).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dGeom {
+    /// Output height after convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.k_h) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.k_w) / self.stride + 1
+    }
+
+    /// Rows of the im2col matrix: `C_in * KH * KW`.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.k_h * self.k_w
+    }
+
+    /// Columns of the im2col matrix: `OH * OW`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Validate that the geometry is realisable (kernel fits in the padded
+    /// input and stride is nonzero).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stride == 0 {
+            return Err("stride must be nonzero".into());
+        }
+        if self.k_h == 0 || self.k_w == 0 {
+            return Err("kernel must be nonzero".into());
+        }
+        if self.in_h + 2 * self.pad < self.k_h || self.in_w + 2 * self.pad < self.k_w {
+            return Err(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.k_h,
+                self.k_w,
+                self.in_h + 2 * self.pad,
+                self.in_w + 2 * self.pad
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Lower one image `(C,H,W)` to its im2col matrix `(C·KH·KW, OH·OW)`.
+///
+/// # Panics
+/// Panics if `img` does not have shape `(C,H,W)` matching `geom`.
+pub fn im2col(img: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    assert_eq!(
+        img.dims(),
+        &[geom.in_channels, geom.in_h, geom.in_w],
+        "im2col input shape mismatch"
+    );
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let rows = geom.col_rows();
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = img.data();
+    let (h, w) = (geom.in_h, geom.in_w);
+
+    let mut r = 0usize;
+    for c in 0..geom.in_channels {
+        let chan = &data[c * h * w..(c + 1) * h * w];
+        for kh in 0..geom.k_h {
+            for kw in 0..geom.k_w {
+                let row_out = &mut out[r * cols..(r + 1) * cols];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                        row_out[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            chan[iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        idx += 1;
+                    }
+                }
+                r += 1;
+            }
+        }
+    }
+    Tensor::from_vec([rows, cols], out)
+}
+
+/// Adjoint of [`im2col`]: scatter-add a column matrix back to image layout.
+///
+/// Given the gradient of the loss with respect to the im2col matrix, this
+/// accumulates it into the gradient with respect to the original `(C,H,W)`
+/// image. Overlapping patches sum, which is exactly the adjoint of the
+/// gather performed by `im2col`.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert_eq!(
+        cols.dims(),
+        &[geom.col_rows(), oh * ow],
+        "col2im input shape mismatch"
+    );
+    let (h, w) = (geom.in_h, geom.in_w);
+    let mut out = vec![0.0f32; geom.in_channels * h * w];
+    let data = cols.data();
+    let ncols = oh * ow;
+
+    let mut r = 0usize;
+    for c in 0..geom.in_channels {
+        let chan = &mut out[c * h * w..(c + 1) * h * w];
+        for kh in 0..geom.k_h {
+            for kw in 0..geom.k_w {
+                let row_in = &data[r * ncols..(r + 1) * ncols];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            chan[iy as usize * w + ix as usize] += row_in[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                r += 1;
+            }
+        }
+    }
+    Tensor::from_vec([geom.in_channels, h, w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, stride: usize, pad: usize) -> Conv2dGeom {
+        Conv2dGeom {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            k_h: k,
+            k_w: k,
+            stride,
+            pad,
+        }
+    }
+
+    #[test]
+    fn output_dims() {
+        let g = geom(3, 16, 16, 3, 1, 0);
+        assert_eq!((g.out_h(), g.out_w()), (14, 14));
+        let g = geom(3, 16, 16, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (16, 16));
+        let g = geom(1, 8, 8, 2, 2, 0);
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        assert!(geom(1, 4, 4, 5, 1, 0).validate().is_err());
+        assert!(geom(1, 4, 4, 3, 0, 0).validate().is_err());
+        assert!(geom(1, 4, 4, 5, 1, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is just a reshape.
+        let g = geom(2, 3, 3, 1, 1, 0);
+        let img = Tensor::from_vec([2, 3, 3], (0..18).map(|x| x as f32).collect());
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.dims(), &[2, 9]);
+        assert_eq!(cols.data(), img.data());
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        let g = geom(1, 3, 3, 2, 1, 0);
+        let img = Tensor::from_vec([1, 3, 3], (1..=9).map(|x| x as f32).collect());
+        let cols = im2col(&img, &g);
+        // First output position (0,0) gathers the top-left 2x2 patch down
+        // the rows (k-row-major): 1,2,4,5 at column 0.
+        assert_eq!(cols.dims(), &[4, 4]);
+        let col0: Vec<f32> = (0..4).map(|r| cols.at(&[r, 0])).collect();
+        assert_eq!(col0, vec![1.0, 2.0, 4.0, 5.0]);
+        let col3: Vec<f32> = (0..4).map(|r| cols.at(&[r, 3])).collect();
+        assert_eq!(col3, vec![5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn padding_produces_zeros() {
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let img = Tensor::ones([1, 2, 2]);
+        let cols = im2col(&img, &g);
+        // Top-left output gathers a patch whose first row is entirely padding.
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+        // Centre weights see real pixels.
+        assert_eq!(cols.at(&[4, 0]), 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint pair, which is what backprop relies on.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        for &(c, h, w, k, s, p) in &[(1, 5, 5, 3, 1, 0), (2, 6, 6, 3, 2, 1), (3, 4, 4, 2, 1, 1)] {
+            let g = geom(c, h, w, k, s, p);
+            let x = Tensor::from_vec(
+                [c, h, w],
+                (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+            );
+            let rows = g.col_rows();
+            let cols_n = g.col_cols();
+            let y = Tensor::from_vec(
+                [rows, cols_n],
+                (0..rows * cols_n).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+            );
+            let lhs = im2col(&x, &g).dot(&y);
+            let rhs = x.dot(&col2im(&y, &g));
+            assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {} vs {}", lhs, rhs);
+        }
+    }
+}

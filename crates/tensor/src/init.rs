@@ -1,0 +1,109 @@
+//! Weight initialisation schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_distr_shim::Normal;
+
+/// Minimal normal-distribution sampler so we avoid the `rand_distr` crate:
+/// Box–Muller over `rand`'s uniform source.
+mod rand_distr_shim {
+    use rand::Rng;
+
+    /// A normal distribution `N(mean, std²)` sampled via Box–Muller.
+    pub struct Normal {
+        mean: f32,
+        std: f32,
+    }
+
+    impl Normal {
+        /// Create the distribution. `std` must be non-negative.
+        pub fn new(mean: f32, std: f32) -> Self {
+            assert!(std >= 0.0, "std must be non-negative");
+            Normal { mean, std }
+        }
+
+        /// Draw one sample.
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            // Box–Muller: u1 in (0,1], u2 in [0,1).
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            let mag = (-2.0 * u1.ln()).sqrt();
+            self.mean + self.std * mag * (2.0 * std::f32::consts::PI * u2).cos()
+        }
+    }
+}
+
+pub use rand_distr_shim::Normal as NormalDist;
+
+/// Standard normal samples with the given shape.
+pub fn randn(shape: impl Into<crate::Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let dist = Normal::new(0.0, 1.0);
+    let n = shape.numel();
+    Tensor::from_vec(shape, (0..n).map(|_| dist.sample(rng)).collect())
+}
+
+/// Uniform samples in `[lo, hi)` with the given shape.
+pub fn rand_uniform(shape: impl Into<crate::Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let n = shape.numel();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(lo..hi)).collect())
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suited to tanh/linear layers and used
+/// for classifier heads.
+pub fn xavier_uniform(shape: impl Into<crate::Shape>, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    rand_uniform(shape, -a, a, rng)
+}
+
+/// He/Kaiming normal initialisation: `N(0, 2/fan_in)`. Suited to ReLU
+/// networks and used for conv/dense hidden layers.
+pub fn he_normal(shape: impl Into<crate::Shape>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let dist = Normal::new(0.0, std);
+    let n = shape.numel();
+    Tensor::from_vec(shape, (0..n).map(|_| dist.sample(rng)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_has_roughly_unit_moments() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let t = randn([10_000], &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {}", mean);
+        assert!((var - 1.0).abs() < 0.1, "var {}", var);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let t = xavier_uniform([1000], 50, 50, &mut rng);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|&x| x >= -a && x < a));
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let t = he_normal([20_000], 200, &mut rng);
+        let std = (t.data().iter().map(|x| x * x).sum::<f32>() / 20_000.0).sqrt();
+        let expect = (2.0f32 / 200.0).sqrt();
+        assert!((std - expect).abs() < 0.01, "std {} expect {}", std, expect);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut r2 = rand::rngs::SmallRng::seed_from_u64(9);
+        assert_eq!(randn([16], &mut r1), randn([16], &mut r2));
+    }
+}

@@ -1,0 +1,31 @@
+//! # fedclust-tensor
+//!
+//! A small, dependency-light dense tensor library used as the numerical
+//! substrate for the FedClust reproduction. It provides exactly what the
+//! neural-network and clustering layers above it need:
+//!
+//! * row-major `f32` tensors with shape/stride bookkeeping ([`Tensor`]),
+//! * cache-blocked, rayon-parallel matrix multiplication ([`matmul`]),
+//! * `im2col`/`col2im` lowering for convolutions ([`conv`]),
+//! * numerically stable softmax / log-softmax and reductions ([`ops`]),
+//! * one-sided Jacobi SVD and principal angles for PACFL ([`linalg`]),
+//! * pairwise L2 / cosine distance matrices ([`distance`]),
+//! * Xavier/He initialisation and deterministic RNG derivation ([`init`],
+//!   [`rng`]).
+//!
+//! The library is deliberately *not* an autograd engine: backpropagation is
+//! implemented layer-by-layer in `fedclust-nn`, which keeps this crate a
+//! plain, easily testable array toolkit.
+
+pub mod conv;
+pub mod distance;
+pub mod init;
+pub mod linalg;
+pub mod matmul;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,280 @@
+//! Small-matrix linear algebra: one-sided Jacobi SVD and principal angles.
+//!
+//! PACFL (one of the paper's strongest baselines) represents each client's
+//! per-class data by the top-`p` left singular vectors of the class data
+//! matrix and measures client similarity by principal angles between those
+//! subspaces. The matrices involved are small (features × samples of one
+//! class on one client), so a textbook one-sided Jacobi SVD is both simple
+//! and plenty fast.
+
+use crate::matmul::matmul;
+use crate::tensor::Tensor;
+
+/// Result of a thin singular value decomposition `A = U Σ Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `(m, r)` column-orthonormal.
+    pub u: Tensor,
+    /// Singular values in non-increasing order, length `r`.
+    pub sigma: Vec<f32>,
+    /// Right singular vectors, `(n, r)` column-orthonormal.
+    pub v: Tensor,
+}
+
+/// Compute the thin SVD of `a` (`m×n`) by one-sided Jacobi rotations on the
+/// columns of `A` (if `m >= n`) or of `Aᵀ` otherwise.
+///
+/// Accuracy target is ~1e-5 relative, which is far more than the clustering
+/// application needs. Complexity is `O(m n² · sweeps)`.
+pub fn svd(a: &Tensor) -> Svd {
+    assert_eq!(a.shape().ndim(), 2, "svd expects a matrix");
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if m >= n {
+        svd_tall(a)
+    } else {
+        // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ
+        let t = svd_tall(&a.transpose2());
+        Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        }
+    }
+}
+
+/// One-sided Jacobi on a tall (or square) matrix: orthogonalise the columns
+/// of a working copy `W` (initially `A`) by plane rotations accumulated in
+/// `V`; then `σ_j = ‖w_j‖` and `u_j = w_j/σ_j`.
+fn svd_tall(a: &Tensor) -> Svd {
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    // Column-major working copy for cache-friendly column ops.
+    let mut w: Vec<Vec<f64>> = (0..n)
+        .map(|j| (0..m).map(|i| a.at(&[i, j]) as f64).collect())
+        .collect();
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|j| {
+            let mut col = vec![0.0f64; n];
+            col[j] = 1.0;
+            col
+        })
+        .collect();
+
+    let eps = 1e-12f64;
+    let max_sweeps = 40;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+                for i in 0..m {
+                    app += w[p][i] * w[p][i];
+                    aqq += w[q][i] * w[q][i];
+                    apq += w[p][i] * w[q][i];
+                }
+                off += apq * apq;
+                if apq.abs() <= eps * (app * aqq).sqrt().max(eps) {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p,q) entry of WᵀW.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w[p][i];
+                    let wq = w[q][i];
+                    w[p][i] = c * wp - s * wq;
+                    w[q][i] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[p][i];
+                    let vq = v[q][i];
+                    v[p][i] = c * vp - s * vq;
+                    v[q][i] = s * vp + c * vq;
+                }
+            }
+        }
+        if off.sqrt() < 1e-14 {
+            break;
+        }
+    }
+
+    // Extract singular values and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = w.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = vec![0.0f32; m * n];
+    let mut vv = vec![0.0f32; n * n];
+    let mut sigma = Vec::with_capacity(n);
+    for (jj, &j) in order.iter().enumerate() {
+        let s = norms[j];
+        sigma.push(s as f32);
+        let inv = if s > 1e-30 { 1.0 / s } else { 0.0 };
+        for i in 0..m {
+            u[i * n + jj] = (w[j][i] * inv) as f32;
+        }
+        for i in 0..n {
+            vv[i * n + jj] = v[j][i] as f32;
+        }
+    }
+    Svd {
+        u: Tensor::from_vec([m, n], u),
+        sigma,
+        v: Tensor::from_vec([n, n], vv),
+    }
+}
+
+/// Top-`p` left singular vectors of `a` as a `(m, p)` column-orthonormal
+/// matrix. `p` is clamped to the number of columns of `a`.
+pub fn truncated_left_singular_vectors(a: &Tensor, p: usize) -> Tensor {
+    let s = svd(a);
+    let (m, r) = (s.u.dims()[0], s.u.dims()[1]);
+    let p = p.min(r);
+    let mut out = vec![0.0f32; m * p];
+    for i in 0..m {
+        for j in 0..p {
+            out[i * p + j] = s.u.at(&[i, j]);
+        }
+    }
+    Tensor::from_vec([m, p], out)
+}
+
+/// Principal angles (radians, ascending) between the column spaces of two
+/// column-orthonormal matrices `u1` (`m×p`) and `u2` (`m×q`).
+///
+/// The cosines of the principal angles are the singular values of `u1ᵀ u2`.
+pub fn principal_angles(u1: &Tensor, u2: &Tensor) -> Vec<f32> {
+    assert_eq!(u1.dims()[0], u2.dims()[0], "subspace ambient dims differ");
+    let m = matmul(&u1.transpose2(), u2);
+    let s = svd(&m);
+    let mut angles: Vec<f32> = s
+        .sigma
+        .iter()
+        .map(|&c| c.clamp(-1.0, 1.0).acos())
+        .collect();
+    angles.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    angles
+}
+
+/// The PACFL proximity between two subspaces: the sum of principal angles
+/// in degrees (smaller = more similar data distributions).
+pub fn subspace_distance_deg(u1: &Tensor, u2: &Tensor) -> f32 {
+    principal_angles(u1, u2)
+        .iter()
+        .map(|a| a.to_degrees())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random(m: usize, n: usize, seed: u64) -> Tensor {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        Tensor::from_vec([m, n], (0..m * n).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+    }
+
+    fn reconstruct(s: &Svd) -> Tensor {
+        let (m, r) = (s.u.dims()[0], s.u.dims()[1]);
+        let mut us = Tensor::zeros([m, r]);
+        for i in 0..m {
+            for j in 0..r {
+                *us.at_mut(&[i, j]) = s.u.at(&[i, j]) * s.sigma[j];
+            }
+        }
+        matmul(&us, &s.v.transpose2())
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_matrix() {
+        let a = random(8, 4, 3);
+        let s = svd(&a);
+        assert_close(&reconstruct(&s), &a, 1e-4);
+    }
+
+    #[test]
+    fn svd_reconstructs_wide_matrix() {
+        let a = random(3, 7, 4);
+        let s = svd(&a);
+        assert_close(&reconstruct(&s), &a, 1e-4);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = random(6, 6, 5);
+        let s = svd(&a);
+        for w in s.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6);
+        }
+        assert!(s.sigma.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn u_columns_are_orthonormal() {
+        let a = random(10, 4, 6);
+        let s = svd(&a);
+        let g = matmul(&s.u.transpose2(), &s.u);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((g.at(&[i, j]) - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_of_diagonal_matrix() {
+        let mut a = Tensor::zeros([3, 3]);
+        *a.at_mut(&[0, 0]) = 3.0;
+        *a.at_mut(&[1, 1]) = 2.0;
+        *a.at_mut(&[2, 2]) = 1.0;
+        let s = svd(&a);
+        assert!((s.sigma[0] - 3.0).abs() < 1e-5);
+        assert!((s.sigma[1] - 2.0).abs() < 1e-5);
+        assert!((s.sigma[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn principal_angles_identical_subspaces_are_zero() {
+        let a = random(8, 3, 7);
+        let u = truncated_left_singular_vectors(&a, 3);
+        let angles = principal_angles(&u, &u);
+        assert!(angles.iter().all(|&a| a < 1e-3));
+    }
+
+    #[test]
+    fn principal_angles_orthogonal_subspaces_are_right_angles() {
+        // span{e0} vs span{e1} in R^4.
+        let mut u1 = Tensor::zeros([4, 1]);
+        *u1.at_mut(&[0, 0]) = 1.0;
+        let mut u2 = Tensor::zeros([4, 1]);
+        *u2.at_mut(&[1, 0]) = 1.0;
+        let angles = principal_angles(&u1, &u2);
+        assert!((angles[0] - std::f32::consts::FRAC_PI_2).abs() < 1e-4);
+        assert!((subspace_distance_deg(&u1, &u2) - 90.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn truncation_keeps_dominant_direction() {
+        // Rank-1 matrix: the single retained vector must span its column space.
+        let mut a = Tensor::zeros([5, 3]);
+        for i in 0..5 {
+            for j in 0..3 {
+                *a.at_mut(&[i, j]) = (i as f32 + 1.0) * (j as f32 + 1.0);
+            }
+        }
+        let u = truncated_left_singular_vectors(&a, 1);
+        assert_eq!(u.dims(), &[5, 1]);
+        // Column should be proportional to (1,2,3,4,5)/norm.
+        let ratio = u.at(&[1, 0]) / u.at(&[0, 0]);
+        assert!((ratio - 2.0).abs() < 1e-3);
+    }
+}

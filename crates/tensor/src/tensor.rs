@@ -1,0 +1,399 @@
+//! The dense row-major `f32` tensor type.
+
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A dense, owned, row-major tensor of `f32` values.
+///
+/// This is the single array type used throughout the reproduction. It keeps
+/// its data in a flat `Vec<f32>`; views and broadcasting are intentionally
+/// not supported — the NN layers work with explicit shapes, which keeps the
+/// backward passes easy to audit.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor from a shape and existing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {} (numel {})",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// A scalar (0-dimensional) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable access to the flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    #[inline]
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterpret the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    /// Panics if the new shape has a different number of elements.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "cannot reshape {} elements into shape {}",
+            self.numel(),
+            shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// In-place reshape, avoiding the copy of [`Tensor::reshape`].
+    pub fn reshape_in_place(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        assert_eq!(shape.numel(), self.numel(), "reshape element count mismatch");
+        self.shape = shape;
+    }
+
+    /// Apply a function to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Apply a function to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in zip_with");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += alpha * other`, the BLAS `axpy` primitive.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply every element by a scalar, in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Euclidean (Frobenius) norm.
+    pub fn norm_l2(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Maximum element; `f32::NEG_INFINITY` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Dot product of the flattened tensors.
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.numel(), other.numel(), "dot length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum::<f64>() as f32
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Transpose a 2-d tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 2-dimensional.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.ndim(), 2, "transpose2 requires a matrix");
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec([c, r], out)
+    }
+
+    /// Extract row `i` of a 2-d tensor as a new 1-d tensor.
+    pub fn row(&self, i: usize) -> Tensor {
+        assert_eq!(self.shape.ndim(), 2, "row requires a matrix");
+        let c = self.shape.dim(1);
+        Tensor::from_vec([c], self.data[i * c..(i + 1) * c].to_vec())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={}, ", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, "data={:?})", self.data)
+        } else {
+            write!(
+                f,
+                "data=[{:.4}, {:.4}, … ; n={}])",
+                self.data[0],
+                self.data[1],
+                self.numel()
+            )
+        }
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f32) -> Tensor {
+        self.map(|x| x * rhs)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones([4]);
+        assert!(o.data().iter().all(|&x| x == 1.0));
+        let f = Tensor::full([2], 3.5);
+        assert_eq!(f.data(), &[3.5, 3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros([2, 3]);
+        *t.at_mut(&[1, 2]) = 7.0;
+        assert_eq!(t.at(&[1, 2]), 7.0);
+        assert_eq!(t.data()[5], 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|x| x as f32).collect());
+        let r = t.reshape([3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec([3], vec![1.0, 1.0, 1.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[3.0, 4.0, 5.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec([4], vec![1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(t.sum(), -2.0);
+        assert_eq!(t.mean(), -0.5);
+        assert_eq!(t.max(), 3.0);
+        let n = t.norm_l2();
+        assert!((n - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpose2_is_involution() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|x| x as f32).collect());
+        let tt = t.transpose2().transpose2();
+        assert_eq!(t, tt);
+        assert_eq!(t.transpose2().at(&[2, 1]), t.at(&[1, 2]));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec([3], vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros([2]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn operator_sugar() {
+        let a = Tensor::from_vec([2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec([2], vec![3.0, 4.0]);
+        assert_eq!((&a + &b).data(), &[4.0, 6.0]);
+        assert_eq!((&b - &a).data(), &[2.0, 2.0]);
+        assert_eq!((&a * 2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn row_extraction() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|x| x as f32).collect());
+        assert_eq!(t.row(1).data(), &[3.0, 4.0, 5.0]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Heterogeneity study: how the *kind and degree* of non-IID-ness changes
+//! which FL strategy wins.
+//!
+//! Sweeps three partitions (IID, label skew 30 %, Dirichlet 0.1) over three
+//! representative methods (FedAvg = fully global, Local = fully
+//! personalized, FedClust = clustered middle ground) and prints the
+//! resulting accuracy matrix — the paper's §1 motivation in one table.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneity_study
+//! ```
+
+use fedclust::FedClust;
+use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
+use fedclust_fl::methods::{FedAvg, LocalOnly};
+use fedclust_fl::{FlConfig, FlMethod};
+use fedclust_nn::models::ModelSpec;
+
+fn main() {
+    let partitions: [(&str, Partition); 3] = [
+        ("IID", Partition::Iid),
+        ("skew 30%", Partition::LabelSkew { fraction: 0.3 }),
+        ("Dir(0.1)", Partition::Dirichlet { alpha: 0.1 }),
+    ];
+    let cfg = FlConfig {
+        model: ModelSpec::LeNet5,
+        rounds: 8,
+        sample_rate: 0.25,
+        local_epochs: 3,
+        batch_size: 10,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        eval_every: 4,
+        seed: 3,
+        dropout_rate: 0.0,
+    };
+    let methods: Vec<Box<dyn FlMethod>> = vec![
+        Box::new(FedAvg),
+        Box::new(LocalOnly::default()),
+        Box::new(FedClust::default()),
+    ];
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}   (FMNIST-like, 20 clients)",
+        "partition", "FedAvg", "Local", "FedClust"
+    );
+    for (name, partition) in partitions {
+        let fd = FederatedDataset::build(
+            DatasetProfile::FmnistLike,
+            partition,
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 20,
+                samples_per_class: 100,
+                train_fraction: 0.8,
+                seed: 3,
+            },
+        );
+        print!("{:<10}", name);
+        for method in &methods {
+            let r = method.run(&fd, &cfg);
+            print!(" {:>9.2}%", r.final_acc * 100.0);
+        }
+        println!();
+    }
+    println!(
+        "\nReading: under IID a single global model is competitive; as heterogeneity\n\
+         grows, Local overtakes FedAvg, and FedClust keeps the best of both by\n\
+         sharing models only within similar-distribution clusters."
+    );
+}

@@ -1,0 +1,120 @@
+//! Property-based tests over the cross-crate invariants the simulation
+//! relies on. Per-crate structural properties live in each crate's own
+//! `tests/` directory; these cover the composition points.
+
+use fedclust_repro::cluster::hac::{agglomerative, Linkage};
+use fedclust_repro::cluster::metrics::{adjusted_rand_index, normalized_mutual_info, purity};
+use fedclust_repro::cluster::ProximityMatrix;
+use fedclust_repro::data::Partition;
+use fedclust_repro::fl::engine::weighted_average;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn labelings(n: usize) -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (
+        proptest::collection::vec(0usize..4, n),
+        proptest::collection::vec(0usize..4, n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weighted averages are convex combinations: every output coordinate
+    /// lies within the min/max of the inputs.
+    #[test]
+    fn weighted_average_is_convex(
+        states in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 5), 1..6),
+        weights in proptest::collection::vec(0.1f32..5.0, 6),
+    ) {
+        let items: Vec<(&[f32], f32)> = states
+            .iter()
+            .zip(&weights)
+            .map(|(s, &w)| (s.as_slice(), w))
+            .collect();
+        let avg = weighted_average(&items);
+        for dim in 0..5 {
+            let lo = states.iter().map(|s| s[dim]).fold(f32::INFINITY, f32::min);
+            let hi = states.iter().map(|s| s[dim]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg[dim] >= lo - 1e-4 && avg[dim] <= hi + 1e-4,
+                "dim {}: {} outside [{}, {}]", dim, avg[dim], lo, hi);
+        }
+    }
+
+    /// Averaging identical states is the identity.
+    #[test]
+    fn weighted_average_of_identical_states_is_identity(
+        state in proptest::collection::vec(-10.0f32..10.0, 8),
+        w1 in 0.1f32..5.0,
+        w2 in 0.1f32..5.0,
+    ) {
+        let avg = weighted_average(&[(&state, w1), (&state, w2)]);
+        for (a, b) in avg.iter().zip(&state) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Cutting a dendrogram at increasing λ never increases cluster count,
+    /// and the extremes are n singletons / one cluster.
+    #[test]
+    fn dendrogram_cuts_are_monotone(points in proptest::collection::vec(-100.0f32..100.0, 2..12)) {
+        let m = ProximityMatrix::from_fn(points.len(), |i, j| (points[i] - points[j]).abs());
+        let d = agglomerative(&m, Linkage::Average);
+        let max_dist = d.merges().last().map_or(0.0, |m| m.distance);
+        let mut prev = usize::MAX;
+        for step in 0..8 {
+            let lambda = max_dist * step as f32 / 7.0;
+            let k = d.num_clusters_at(lambda);
+            prop_assert!(k <= prev, "λ {} gave {} clusters after {}", lambda, k, prev);
+            prev = k;
+        }
+        prop_assert!(d.cut_at(max_dist + 1.0).iter().all(|&l| l == 0));
+        let fine = d.cut_at(-1.0);
+        let k_fine = fine.iter().copied().max().unwrap_or(0) + 1;
+        prop_assert_eq!(k_fine, points.len());
+    }
+
+    /// Cluster metrics are symmetric in their arguments (ARI, NMI) and
+    /// bounded; purity of a labeling against itself is 1.
+    #[test]
+    fn cluster_metric_axioms((a, b) in labelings(10)) {
+        let ari_ab = adjusted_rand_index(&a, &b);
+        let ari_ba = adjusted_rand_index(&b, &a);
+        prop_assert!((ari_ab - ari_ba).abs() < 1e-9);
+        prop_assert!(ari_ab <= 1.0 + 1e-9);
+
+        let nmi_ab = normalized_mutual_info(&a, &b);
+        let nmi_ba = normalized_mutual_info(&b, &a);
+        prop_assert!((nmi_ab - nmi_ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&nmi_ab));
+
+        prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((purity(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!(purity(&a, &b) > 0.0 && purity(&a, &b) <= 1.0 + 1e-9);
+    }
+
+    /// Every partition strategy produces an exact partition of the sample
+    /// indices with no empty client, for any label layout.
+    #[test]
+    fn partitions_are_exact_and_nonempty(
+        labels in proptest::collection::vec(0usize..5, 30..120),
+        num_clients in 2usize..8,
+        seed in 0u64..1000,
+        strategy in 0usize..3,
+    ) {
+        let partition = match strategy {
+            0 => Partition::Iid,
+            1 => Partition::LabelSkew { fraction: 0.4 },
+            _ => Partition::Dirichlet { alpha: 0.3 },
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let assignment = partition.assign(&labels, 5, num_clients, &mut rng);
+        prop_assert_eq!(assignment.len(), num_clients);
+        let mut all: Vec<usize> = assignment.concat();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..labels.len()).collect();
+        prop_assert_eq!(all, expect);
+        prop_assert!(assignment.iter().all(|c| !c.is_empty()));
+    }
+}
