@@ -44,6 +44,123 @@ fn bench_im2col(c: &mut Criterion) {
     c.bench_function("im2col_3x16x16_k3", |b| b.iter(|| im2col(&img, &geom)));
 }
 
+/// The seed's GEMM inner loop (i-k-j order, per-element zero skip, no
+/// packing or register tiling), kept verbatim as the "before" reference.
+fn seed_gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Reference per-image convolution forward — the exact pre-batching code
+/// path (per-image tensor copy, per-image im2col allocation, one seed-style
+/// GEMM per image). This is the baseline the batched layer's speedup is
+/// measured against.
+fn conv_forward_per_image(weight: &Tensor, x: &Tensor, geom: &Conv2dGeom) -> Vec<f32> {
+    let batch = x.dims()[0];
+    let chw = geom.in_channels * geom.in_h * geom.in_w;
+    let c_out = weight.dims()[0];
+    let ocols = geom.col_cols();
+    let rows = geom.col_rows();
+    let mut out = vec![0.0f32; batch * c_out * ocols];
+    for b in 0..batch {
+        let img = Tensor::from_vec(
+            [geom.in_channels, geom.in_h, geom.in_w],
+            x.data()[b * chw..(b + 1) * chw].to_vec(),
+        );
+        let cols = im2col(&img, geom);
+        seed_gemm(
+            weight.data(),
+            cols.data(),
+            &mut out[b * c_out * ocols..(b + 1) * c_out * ocols],
+            c_out,
+            rows,
+            ocols,
+        );
+    }
+    out
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    use fedclust_nn::conv2d::Conv2d;
+    use fedclust_nn::layer::Layer;
+
+    // The two geometries the paper's models hit hardest: LeNet-5's first
+    // conv (CIFAR input, 5x5 kernel) and a ResNet-9 interior conv (64
+    // channels at 16x16, 3x3 kernel). Batch 32 throughout.
+    let cases: [(&str, Conv2dGeom, usize); 2] = [
+        (
+            "lenet5_3x32x32_k5",
+            Conv2dGeom {
+                in_channels: 3,
+                in_h: 32,
+                in_w: 32,
+                k_h: 5,
+                k_w: 5,
+                stride: 1,
+                pad: 0,
+            },
+            6,
+        ),
+        (
+            "resnet9_64x16x16_k3",
+            Conv2dGeom {
+                in_channels: 64,
+                in_h: 16,
+                in_w: 16,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            },
+            64,
+        ),
+    ];
+    let batch = 32usize;
+
+    let mut g = c.benchmark_group("conv2d_forward");
+    g.sample_size(10);
+    for (name, geom, c_out) in &cases {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(*geom, *c_out, &mut rng);
+        let x = random(&[batch, geom.in_channels, geom.in_h, geom.in_w], 8);
+        g.bench_function(format!("batched/{}", name), |b| {
+            b.iter(|| conv.forward(x.clone(), false))
+        });
+        let weight = conv.params()[0].value.clone();
+        g.bench_function(format!("per_image/{}", name), |b| {
+            b.iter(|| conv_forward_per_image(&weight, &x, geom))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("conv2d_backward");
+    g.sample_size(10);
+    for (name, geom, c_out) in &cases {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(*geom, *c_out, &mut rng);
+        let x = random(&[batch, geom.in_channels, geom.in_h, geom.in_w], 10);
+        let dy = random(&[batch, *c_out, geom.out_h(), geom.out_w()], 11);
+        g.bench_function(format!("batched/{}", name), |b| {
+            b.iter(|| {
+                conv.forward(x.clone(), true);
+                conv.backward(dy.clone())
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_softmax(c: &mut Criterion) {
     let logits = random(&[64, 10], 4);
     c.bench_function("softmax_64x10", |b| b.iter(|| softmax_rows(&logits)));
@@ -73,6 +190,6 @@ fn bench_proximity_and_hac(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_im2col, bench_softmax, bench_svd, bench_proximity_and_hac
+    targets = bench_matmul, bench_im2col, bench_conv2d, bench_softmax, bench_svd, bench_proximity_and_hac
 }
 criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! 2-d convolution layer via im2col + GEMM.
+//! 2-d convolution layer via batched im2col + GEMM.
 
 use crate::layer::Layer;
 use crate::param::Param;
-use fedclust_tensor::conv::{col2im, im2col, Conv2dGeom};
+use fedclust_tensor::conv::{im2col_batch_into, col2im_batch_into, Conv2dGeom};
 use fedclust_tensor::init::he_normal;
-use fedclust_tensor::matmul::{matmul, matmul_tn};
+use fedclust_tensor::matmul::{gemm_nn, gemm_nt, gemm_tn};
 use fedclust_tensor::Tensor;
 use rand::Rng;
 
@@ -12,15 +12,28 @@ use rand::Rng;
 /// `(batch, C_out, OH, OW)`.
 ///
 /// Weights are stored `(C_out, C_in·KH·KW)` — already in GEMM layout — with
-/// a per-output-channel bias. Forward lowers each image with `im2col` and
-/// multiplies; backward uses the adjoint `col2im` scatter.
-#[derive(Clone)]
+/// a per-output-channel bias. The whole batch is lowered at once into a
+/// single `(C_in·KH·KW, B·OH·OW)` column matrix, so forward and backward
+/// each issue one large GEMM instead of `B` small ones. Both the column
+/// matrix and the channel-major staging buffer are owned workspaces that
+/// persist across steps, so steady-state training does no per-step
+/// allocation for the lowering.
 pub struct Conv2d {
     weight: Param,
     bias: Param,
     geom: Conv2dGeom,
     out_channels: usize,
-    cached_cols: Vec<Tensor>,
+    /// im2col workspace, `(C_in·KH·KW) × (B·OH·OW)`. After a training
+    /// forward it doubles as the cached activation for backward, and during
+    /// backward it is overwritten in place with the column gradient —
+    /// peak memory holds one column matrix, never two.
+    cols: Vec<f32>,
+    /// Channel-major staging buffer, `C_out × (B·OH·OW)`: pre-bias GEMM
+    /// output in forward, re-laid-out output gradient in backward.
+    stage: Vec<f32>,
+    /// Batch size the `cols` workspace caches from the last training
+    /// forward; 0 when no activation cache is live.
+    cached_batch: usize,
 }
 
 impl Conv2d {
@@ -37,7 +50,9 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros([out_channels])),
             geom,
             out_channels,
-            cached_cols: Vec::new(),
+            cols: Vec::new(),
+            stage: Vec::new(),
+            cached_batch: 0,
         }
     }
 
@@ -55,14 +70,23 @@ impl Conv2d {
     pub fn out_shape(&self, b: usize) -> [usize; 4] {
         [b, self.out_channels, self.geom.out_h(), self.geom.out_w()]
     }
+}
 
-    fn image(&self, x: &Tensor, b: usize) -> Tensor {
-        let g = &self.geom;
-        let sz = g.in_channels * g.in_h * g.in_w;
-        Tensor::from_vec(
-            [g.in_channels, g.in_h, g.in_w],
-            x.data()[b * sz..(b + 1) * sz].to_vec(),
-        )
+impl Clone for Conv2d {
+    /// Clones parameters and geometry but not the workspaces: cloned layers
+    /// (e.g. per-client model replicas in the FL engine) start with empty
+    /// scratch and grow it on their first forward, instead of copying
+    /// megabytes of transient buffers.
+    fn clone(&self) -> Self {
+        Conv2d {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            geom: self.geom,
+            out_channels: self.out_channels,
+            cols: Vec::new(),
+            stage: Vec::new(),
+            cached_batch: 0,
+        }
     }
 }
 
@@ -78,27 +102,45 @@ impl Layer for Conv2d {
         let batch = x.dims()[0];
         let (oh, ow) = (g.out_h(), g.out_w());
         let ocols = oh * ow;
+        let n = batch * ocols;
+        let rows = g.col_rows();
+
+        // Lower the whole batch in one pass; every element is overwritten,
+        // so the workspace needs no clearing.
+        self.cols.resize(rows * n, 0.0);
+        im2col_batch_into(x.data(), batch, &g, &mut self.cols);
+
+        // One GEMM for the batch: (C_out × rows) · (rows × n).
+        self.stage.clear();
+        self.stage.resize(self.out_channels * n, 0.0);
+        gemm_nn(
+            self.out_channels,
+            rows,
+            n,
+            self.weight.value.data(),
+            &self.cols,
+            &mut self.stage,
+        );
+
+        // Scatter channel-major GEMM output to (B, C_out, OH, OW), folding
+        // in the bias.
         let mut out = vec![0.0f32; batch * self.out_channels * ocols];
-        if train {
-            self.cached_cols.clear();
-        }
-        for b in 0..batch {
-            let img = self.image(&x, b);
-            let cols = im2col(&img, &g);
-            // (C_out × rows) * (rows × ocols)
-            let y = matmul(&self.weight.value, &cols);
-            let dst = &mut out[b * self.out_channels * ocols..(b + 1) * self.out_channels * ocols];
-            dst.copy_from_slice(y.data());
-            for (c, chunk) in dst.chunks_mut(ocols).enumerate() {
-                let bv = self.bias.value.data()[c];
-                for v in chunk.iter_mut() {
-                    *v += bv;
+        let bias = self.bias.value.data();
+        for c in 0..self.out_channels {
+            let src = &self.stage[c * n..(c + 1) * n];
+            let bv = bias[c];
+            for b in 0..batch {
+                let dst = &mut out
+                    [b * self.out_channels * ocols + c * ocols..][..ocols];
+                for (d, &s) in dst.iter_mut().zip(&src[b * ocols..(b + 1) * ocols]) {
+                    *d = s + bv;
                 }
             }
-            if train {
-                self.cached_cols.push(cols);
-            }
         }
+
+        // The column matrix itself is the activation cache; an eval forward
+        // overwrote it, so invalidate any cache it clobbered.
+        self.cached_batch = if train { batch } else { 0 };
         Tensor::from_vec([batch, self.out_channels, oh, ow], out)
     }
 
@@ -106,35 +148,61 @@ impl Layer for Conv2d {
         let g = self.geom;
         let batch = grad_out.dims()[0];
         assert_eq!(
-            self.cached_cols.len(),
-            batch,
-            "conv2d backward called without matching cached forward"
+            self.cached_batch, batch,
+            "conv2d backward called without matching cached training forward"
         );
         let (oh, ow) = (g.out_h(), g.out_w());
         let ocols = oh * ow;
+        let n = batch * ocols;
+        let rows = g.col_rows();
+
+        // Re-lay (B, C_out, OH, OW) as channel-major (C_out × n) and take
+        // the per-channel bias sums in the same pass.
+        self.stage.resize(self.out_channels * n, 0.0);
+        {
+            let go = grad_out.data();
+            let db = self.bias.grad.data_mut();
+            for c in 0..self.out_channels {
+                let dst = &mut self.stage[c * n..(c + 1) * n];
+                let mut sum = 0.0f32;
+                for b in 0..batch {
+                    let src = &go[b * self.out_channels * ocols + c * ocols..][..ocols];
+                    dst[b * ocols..(b + 1) * ocols].copy_from_slice(src);
+                    sum += src.iter().sum::<f32>();
+                }
+                db[c] += sum;
+            }
+        }
+
+        // dW += gmat (C_out×n) · colsᵀ (n×rows), accumulated straight into
+        // the weight gradient. Must read `cols` before it is repurposed.
+        gemm_nt(
+            self.out_channels,
+            n,
+            rows,
+            &self.stage,
+            &self.cols,
+            self.weight.grad.data_mut(),
+        );
+
+        // dcols = Wᵀ (rows×C_out) · gmat (C_out×n), written into the cols
+        // workspace in place of the now-consumed activations.
+        self.cols.fill(0.0);
+        gemm_tn(
+            rows,
+            self.out_channels,
+            n,
+            self.weight.value.data(),
+            &self.stage,
+            &mut self.cols,
+        );
+
+        // Scatter-add the column gradient back to image layout.
         let in_sz = g.in_channels * g.in_h * g.in_w;
         let mut dx = vec![0.0f32; batch * in_sz];
-        for b in 0..batch {
-            let gslice = &grad_out.data()
-                [b * self.out_channels * ocols..(b + 1) * self.out_channels * ocols];
-            let gmat = Tensor::from_vec([self.out_channels, ocols], gslice.to_vec());
-            let cols = &self.cached_cols[b];
-            // dW += gmat (C_out×ocols) * cols^T (ocols×rows)
-            let dw = matmul(&gmat, &cols.transpose2());
-            self.weight.grad.axpy(1.0, &dw);
-            // db += per-channel sums.
-            {
-                let db = self.bias.grad.data_mut();
-                for (c, chunk) in gslice.chunks(ocols).enumerate() {
-                    db[c] += chunk.iter().sum::<f32>();
-                }
-            }
-            // dcols = W^T (rows×C_out) * gmat — via matmul_tn on (C_out×rows).
-            let dcols = matmul_tn(&self.weight.value, &gmat);
-            let dimg = col2im(&dcols, &g);
-            dx[b * in_sz..(b + 1) * in_sz].copy_from_slice(dimg.data());
-        }
-        self.cached_cols.clear();
+        col2im_batch_into(&self.cols, batch, &g, &mut dx);
+
+        self.cached_batch = 0;
         Tensor::from_vec([batch, g.in_channels, g.in_h, g.in_w], dx)
     }
 
@@ -214,6 +282,106 @@ mod tests {
         conv.params_mut()[1].value.data_mut().copy_from_slice(&[2.5, -1.5]);
         let y = conv.forward(Tensor::zeros([1, 1, 3, 3]), false);
         assert_eq!(y.data(), &[2.5, -1.5]);
+    }
+
+    /// The batched forward must agree with an explicit per-image reference
+    /// convolution to tight tolerance, across strides and paddings.
+    #[test]
+    fn batched_forward_matches_per_image_reference() {
+        use fedclust_tensor::conv::im2col;
+        use fedclust_tensor::matmul::matmul;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        for &(b, c, h, w, k, s, p, co) in &[
+            (3usize, 2usize, 6, 6, 3, 1, 1, 4usize),
+            (2, 3, 5, 5, 3, 2, 0, 2),
+            (4, 1, 7, 7, 5, 1, 2, 3),
+        ] {
+            let g = Conv2dGeom {
+                in_channels: c,
+                in_h: h,
+                in_w: w,
+                k_h: k,
+                k_w: k,
+                stride: s,
+                pad: p,
+            };
+            let mut conv = Conv2d::new(g, co, &mut rng);
+            let x = fedclust_tensor::init::randn([b, c, h, w], &mut rng);
+            let y = conv.forward(x.clone(), false);
+            let ocols = g.col_cols();
+            let chw = c * h * w;
+            for bi in 0..b {
+                let img = Tensor::from_vec(
+                    [c, h, w],
+                    x.data()[bi * chw..(bi + 1) * chw].to_vec(),
+                );
+                let yref = matmul(&conv.weight.value, &im2col(&img, &g));
+                for ci in 0..co {
+                    let bias = conv.bias.value.data()[ci];
+                    for j in 0..ocols {
+                        let got = y.data()[bi * co * ocols + ci * ocols + j];
+                        let want = yref.at(&[ci, j]) + bias;
+                        assert!(
+                            (got - want).abs() <= 1e-4,
+                            "shape {:?} b={} c={} j={}: {} vs {}",
+                            (b, c, h, w, k, s, p, co),
+                            bi,
+                            ci,
+                            j,
+                            got,
+                            want
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Workspaces are reused across steps (no growth after the first) and
+    /// cleared by `clone`, and backward consumes the activation cache.
+    #[test]
+    fn workspaces_recycle_and_clone_resets() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let g = Conv2dGeom {
+            in_channels: 2,
+            in_h: 6,
+            in_w: 6,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut conv = Conv2d::new(g, 4, &mut rng);
+        let x = fedclust_tensor::init::randn([3, 2, 6, 6], &mut rng);
+        let y = conv.forward(x.clone(), true);
+        assert_eq!(conv.cached_batch, 3);
+        let (cols_cap, stage_cap) = (conv.cols.capacity(), conv.stage.capacity());
+        conv.backward(y);
+        assert_eq!(conv.cached_batch, 0, "backward must release the cache");
+        for _ in 0..3 {
+            let y = conv.forward(x.clone(), true);
+            conv.backward(y);
+        }
+        assert_eq!(conv.cols.capacity(), cols_cap, "cols workspace reallocated");
+        assert_eq!(conv.stage.capacity(), stage_cap, "stage workspace reallocated");
+
+        let replica = conv.clone();
+        assert!(replica.cols.is_empty() && replica.stage.is_empty());
+        assert_eq!(replica.cached_batch, 0);
+        assert_eq!(replica.weight.value.data(), conv.weight.value.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching cached training forward")]
+    fn eval_forward_invalidates_training_cache() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(10);
+        let mut conv = Conv2d::new(geom(1, 4, 4, 3), 2, &mut rng);
+        let x = Tensor::zeros([2, 1, 4, 4]);
+        let y = conv.forward(x.clone(), true);
+        // The eval forward clobbers the shared column workspace; backward
+        // must refuse rather than produce silently wrong gradients.
+        let _ = conv.forward(x, false);
+        let _ = conv.backward(y);
     }
 
     /// Gradient check through L = 0.5·||y||².

@@ -3,7 +3,7 @@
 use crate::layer::Layer;
 use crate::param::Param;
 use fedclust_tensor::init::xavier_uniform;
-use fedclust_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use fedclust_tensor::matmul::{gemm_tn, matmul, matmul_nt};
 use fedclust_tensor::Tensor;
 use rand::Rng;
 
@@ -68,9 +68,17 @@ impl Layer for Dense {
             .cached_input
             .take()
             .expect("dense backward called without cached forward");
-        // dW = grad_out^T (out×B) * x (B×in)   — via matmul_tn on (B×out).
-        let dw = matmul_tn(&grad_out, &x);
-        self.weight.grad.axpy(1.0, &dw);
+        // dW += grad_out^T (out×B) * x (B×in), accumulated straight into the
+        // weight gradient by the slice-level GEMM — no intermediate tensor.
+        let batch = grad_out.dims()[0];
+        gemm_tn(
+            self.out_features,
+            batch,
+            self.in_features,
+            grad_out.data(),
+            x.data(),
+            self.weight.grad.data_mut(),
+        );
         // db = column sums of grad_out.
         let out = self.out_features;
         {

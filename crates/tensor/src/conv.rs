@@ -154,6 +154,168 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeom) -> Tensor {
     Tensor::from_vec([geom.in_channels, h, w], out)
 }
 
+/// Lower a whole batch `(B,C,H,W)` into one im2col matrix
+/// `(C·KH·KW, B·OH·OW)`, writing into a caller-provided workspace.
+///
+/// Column `b·OH·OW + oy·OW + ox` holds the patch for image `b` at output
+/// position `(oy, ox)`, so a single GEMM against the `(C_out, C·KH·KW)`
+/// weight matrix convolves the entire batch. Every element of `out` is
+/// written (out-of-bounds taps become zeros), so the workspace can be
+/// reused across calls without clearing.
+///
+/// # Panics
+/// Panics if `batch.len() != b * C·H·W` or `out.len() != col_rows · b·OH·OW`.
+pub fn im2col_batch_into(batch: &[f32], b: usize, geom: &Conv2dGeom, out: &mut [f32]) {
+    use rayon::prelude::*;
+
+    let (h, w) = (geom.in_h, geom.in_w);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let chw = geom.in_channels * h * w;
+    let ocols = oh * ow;
+    let n = b * ocols;
+    assert_eq!(batch.len(), b * chw, "im2col_batch input length mismatch");
+    assert_eq!(out.len(), geom.col_rows() * n, "im2col_batch output length mismatch");
+    if n == 0 {
+        return;
+    }
+    let (stride, pad) = (geom.stride, geom.pad);
+    let khw = geom.k_h * geom.k_w;
+
+    // Rows are independent gathers; each row reads one (channel, kh, kw) tap
+    // across every image and output position.
+    out.par_chunks_mut(n).enumerate().for_each(|(r, row)| {
+        let c = r / khw;
+        let kh = (r / geom.k_w) % geom.k_h;
+        let kw = r % geom.k_w;
+        // Output columns whose input x-coordinate is in bounds for this tap:
+        // 0 <= ox*stride + kw - pad < w.
+        let ox_lo = if pad > kw { (pad - kw).div_ceil(stride).min(ow) } else { 0 };
+        let ox_hi = if w + pad > kw {
+            ((w + pad - kw - 1) / stride + 1).min(ow)
+        } else {
+            0
+        };
+        for bi in 0..b {
+            let chan = &batch[bi * chw + c * h * w..bi * chw + (c + 1) * h * w];
+            for oy in 0..oh {
+                let dst = &mut row[bi * ocols + oy * ow..bi * ocols + oy * ow + ow];
+                let iy = (oy * stride + kh) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize || ox_lo >= ox_hi {
+                    dst.fill(0.0);
+                    continue;
+                }
+                let src_row = &chan[iy as usize * w..(iy as usize + 1) * w];
+                dst[..ox_lo].fill(0.0);
+                dst[ox_hi..].fill(0.0);
+                if stride == 1 {
+                    let ix0 = ox_lo + kw - pad;
+                    dst[ox_lo..ox_hi].copy_from_slice(&src_row[ix0..ix0 + (ox_hi - ox_lo)]);
+                } else {
+                    for (ox, d) in dst[ox_lo..ox_hi].iter_mut().enumerate() {
+                        *d = src_row[(ox_lo + ox) * stride + kw - pad];
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Adjoint of [`im2col_batch_into`]: scatter-add a `(C·KH·KW, B·OH·OW)`
+/// column-gradient matrix back into batch image layout `(B,C,H,W)`.
+///
+/// Accumulates into `out` (overlapping patches sum); the caller zeroes the
+/// buffer first when a fresh gradient is wanted.
+///
+/// # Panics
+/// Panics if `cols.len() != col_rows · b·OH·OW` or `out.len() != b · C·H·W`.
+pub fn col2im_batch_into(cols: &[f32], b: usize, geom: &Conv2dGeom, out: &mut [f32]) {
+    use rayon::prelude::*;
+
+    let (h, w) = (geom.in_h, geom.in_w);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let chw = geom.in_channels * h * w;
+    let ocols = oh * ow;
+    let n = b * ocols;
+    assert_eq!(cols.len(), geom.col_rows() * n, "col2im_batch input length mismatch");
+    assert_eq!(out.len(), b * chw, "col2im_batch output length mismatch");
+    if n == 0 {
+        return;
+    }
+    let (stride, pad) = (geom.stride, geom.pad);
+    let khw = geom.k_h * geom.k_w;
+
+    // Images scatter into disjoint output chunks, so parallelise over the
+    // batch; within an image, walk the rows like the per-image col2im.
+    out.par_chunks_mut(chw).enumerate().for_each(|(bi, img)| {
+        for r in 0..geom.col_rows() {
+            let c = r / khw;
+            let kh = (r / geom.k_w) % geom.k_h;
+            let kw = r % geom.k_w;
+            let ox_lo = if pad > kw { (pad - kw).div_ceil(stride).min(ow) } else { 0 };
+            let ox_hi = if w + pad > kw {
+                ((w + pad - kw - 1) / stride + 1).min(ow)
+            } else {
+                0
+            };
+            let chan = &mut img[c * h * w..(c + 1) * h * w];
+            let row = &cols[r * n + bi * ocols..r * n + (bi + 1) * ocols];
+            for oy in 0..oh {
+                let iy = (oy * stride + kh) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize || ox_lo >= ox_hi {
+                    continue;
+                }
+                let dst_row = &mut chan[iy as usize * w..(iy as usize + 1) * w];
+                let src = &row[oy * ow..(oy + 1) * ow];
+                if stride == 1 {
+                    let ix0 = ox_lo + kw - pad;
+                    for (d, &s) in dst_row[ix0..ix0 + (ox_hi - ox_lo)]
+                        .iter_mut()
+                        .zip(&src[ox_lo..ox_hi])
+                    {
+                        *d += s;
+                    }
+                } else {
+                    for (ox, &s) in src[ox_lo..ox_hi].iter().enumerate() {
+                        dst_row[(ox_lo + ox) * stride + kw - pad] += s;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Lower a `(B,C,H,W)` batch tensor to its `(C·KH·KW, B·OH·OW)` im2col
+/// matrix. Allocating wrapper over [`im2col_batch_into`].
+///
+/// # Panics
+/// Panics if `batch` is not 4-d with trailing dims matching `geom`.
+pub fn im2col_batch(batch: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    let dims = batch.dims();
+    assert_eq!(dims.len(), 4, "im2col_batch expects a (B,C,H,W) tensor");
+    assert_eq!(
+        &dims[1..],
+        &[geom.in_channels, geom.in_h, geom.in_w],
+        "im2col_batch image shape mismatch"
+    );
+    let b = dims[0];
+    let mut out = vec![0.0f32; geom.col_rows() * b * geom.col_cols()];
+    im2col_batch_into(batch.data(), b, geom, &mut out);
+    Tensor::from_vec([geom.col_rows(), b * geom.col_cols()], out)
+}
+
+/// Scatter a batched column matrix back to a `(B,C,H,W)` tensor. Allocating
+/// wrapper over [`col2im_batch_into`].
+pub fn col2im_batch(cols: &Tensor, b: usize, geom: &Conv2dGeom) -> Tensor {
+    assert_eq!(
+        cols.dims(),
+        &[geom.col_rows(), b * geom.col_cols()],
+        "col2im_batch input shape mismatch"
+    );
+    let mut out = vec![0.0f32; b * geom.in_channels * geom.in_h * geom.in_w];
+    col2im_batch_into(cols.data(), b, geom, &mut out);
+    Tensor::from_vec([b, geom.in_channels, geom.in_h, geom.in_w], out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +382,128 @@ mod tests {
         assert_eq!(cols.at(&[0, 0]), 0.0);
         // Centre weights see real pixels.
         assert_eq!(cols.at(&[4, 0]), 1.0);
+    }
+
+    /// Shapes exercising stride 1 and 2, pad 0 and 1, odd sizes, and a
+    /// kernel wider than the unpadded input.
+    const BATCH_SHAPES: &[(usize, usize, usize, usize, usize, usize, usize)] = &[
+        // (b, c, h, w, k, stride, pad)
+        (1, 1, 5, 5, 3, 1, 0),
+        (3, 2, 6, 6, 3, 2, 1),
+        (2, 3, 4, 4, 2, 1, 1),
+        (4, 1, 7, 5, 3, 2, 0),
+        (2, 2, 3, 3, 3, 1, 1),
+        (1, 1, 2, 2, 3, 1, 1),
+    ];
+
+    fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(dims, (0..n).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+    }
+
+    #[test]
+    fn batched_im2col_matches_per_image() {
+        for (i, &(b, c, h, w, k, s, p)) in BATCH_SHAPES.iter().enumerate() {
+            let g = geom(c, h, w, k, s, p);
+            let batch = random_tensor(&[b, c, h, w], 100 + i as u64);
+            let cols = im2col_batch(&batch, &g);
+            let ocols = g.col_cols();
+            assert_eq!(cols.dims(), &[g.col_rows(), b * ocols]);
+            for bi in 0..b {
+                let chw = c * h * w;
+                let img = Tensor::from_vec(
+                    [c, h, w],
+                    batch.data()[bi * chw..(bi + 1) * chw].to_vec(),
+                );
+                let single = im2col(&img, &g);
+                for r in 0..g.col_rows() {
+                    for j in 0..ocols {
+                        assert_eq!(
+                            cols.at(&[r, bi * ocols + j]),
+                            single.at(&[r, j]),
+                            "shape {:?} image {} row {} col {}",
+                            (b, c, h, w, k, s, p),
+                            bi,
+                            r,
+                            j
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_col2im_matches_per_image() {
+        for (i, &(b, c, h, w, k, s, p)) in BATCH_SHAPES.iter().enumerate() {
+            let g = geom(c, h, w, k, s, p);
+            let ocols = g.col_cols();
+            let cols = random_tensor(&[g.col_rows(), b * ocols], 200 + i as u64);
+            let imgs = col2im_batch(&cols, b, &g);
+            assert_eq!(imgs.dims(), &[b, c, h, w]);
+            for bi in 0..b {
+                let mut sub = vec![0.0f32; g.col_rows() * ocols];
+                for r in 0..g.col_rows() {
+                    for j in 0..ocols {
+                        sub[r * ocols + j] = cols.at(&[r, bi * ocols + j]);
+                    }
+                }
+                let single = col2im(&Tensor::from_vec([g.col_rows(), ocols], sub), &g);
+                let chw = c * h * w;
+                for (x, (&got, &want)) in imgs.data()[bi * chw..(bi + 1) * chw]
+                    .iter()
+                    .zip(single.data())
+                    .enumerate()
+                {
+                    assert!(
+                        (got - want).abs() < 1e-6,
+                        "shape {:?} image {} elem {}: {} vs {}",
+                        (b, c, h, w, k, s, p),
+                        bi,
+                        x,
+                        got,
+                        want
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_workspace_is_fully_overwritten() {
+        // Reusing a dirty workspace must not leak stale values into the
+        // zero-padding positions.
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let batch = Tensor::ones([2, 1, 2, 2]);
+        let n = g.col_rows() * 2 * g.col_cols();
+        let mut ws = vec![7.0f32; n];
+        im2col_batch_into(batch.data(), 2, &g, &mut ws);
+        let clean = im2col_batch(&batch, &g);
+        assert_eq!(&ws, clean.data());
+    }
+
+    #[test]
+    fn batched_col2im_is_adjoint_of_batched_im2col() {
+        for (i, &(b, c, h, w, k, s, p)) in BATCH_SHAPES.iter().enumerate() {
+            let g = geom(c, h, w, k, s, p);
+            let x = random_tensor(&[b, c, h, w], 300 + i as u64);
+            let y = random_tensor(&[g.col_rows(), b * g.col_cols()], 400 + i as u64);
+            let lhs: f32 = im2col_batch(&x, &g)
+                .data()
+                .iter()
+                .zip(y.data())
+                .map(|(&a, &b)| a * b)
+                .sum();
+            let rhs: f32 = x
+                .data()
+                .iter()
+                .zip(col2im_batch(&y, b, &g).data())
+                .map(|(&a, &b)| a * b)
+                .sum();
+            assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {} vs {}", lhs, rhs);
+        }
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Quick-feedback benchmark sweep: short warm-up and measurement windows so a
+# full micro pass finishes in well under a minute. Extra args (e.g. a name
+# filter like `conv2d`) are forwarded to the bench binary.
+#
+# Usage: scripts/bench_quick.sh [filter] [-- extra cargo args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p fedclust-bench --bench micro -- \
+    --warm-up-time 0.5 --measurement-time 1 "$@"

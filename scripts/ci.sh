@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a quick benchmark smoke: exactly what a CI job
+# runs. Fails on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== quick benchmarks =="
+scripts/bench_quick.sh

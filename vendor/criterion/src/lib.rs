@@ -1,0 +1,326 @@
+//! Offline micro-benchmark harness with a criterion-compatible API.
+//!
+//! Supports the surface this workspace's benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `sample_size`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is wall-clock: each benchmark warms up
+//! for `--warm-up-time` seconds, then collects `sample_size` samples within
+//! `--measurement-time` seconds and reports mean / min / max per iteration.
+//!
+//! Accepted CLI flags (others, like cargo's `--bench`, are ignored):
+//! `--warm-up-time <s>`, `--measurement-time <s>`, `--sample-size <n>`,
+//! and an optional positional substring filter of benchmark names.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimiser from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/param` id.
+    pub fn new(function: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function, param) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Collected per-iteration mean times (seconds), one per sample.
+    samples: Vec<f64>,
+}
+
+impl<'a> Bencher<'a> {
+    /// Benchmark `f`, timing batches of calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating cost.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.cfg.warm_up_time {
+            black_box(f());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+
+        // Split the measurement budget into `sample_size` samples of
+        // `batch` iterations each.
+        let budget = self.cfg.measurement_time.as_secs_f64();
+        let samples = self.cfg.sample_size.max(2);
+        let batch = ((budget / samples as f64) / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+        self.samples.clear();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{:.3} s", secs)
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_secs_f64(1.0),
+            measurement_time: Duration::from_secs_f64(3.0),
+            filter: None,
+        }
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { cfg: Config::default() }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Apply `--warm-up-time` / `--measurement-time` / `--sample-size` and a
+    /// positional name filter from the process arguments.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let next_f64 = |v: Option<&String>| v.and_then(|s| s.parse::<f64>().ok());
+            match args[i].as_str() {
+                "--warm-up-time" => {
+                    if let Some(s) = next_f64(args.get(i + 1)) {
+                        self.cfg.warm_up_time = Duration::from_secs_f64(s);
+                        i += 1;
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(s) = next_f64(args.get(i + 1)) {
+                        self.cfg.measurement_time = Duration::from_secs_f64(s);
+                        i += 1;
+                    }
+                }
+                "--sample-size" => {
+                    if let Some(s) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                        self.cfg.sample_size = s;
+                        i += 1;
+                    }
+                }
+                a if !a.starts_with('-') => {
+                    self.cfg.filter = Some(a.to_string());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.cfg, &id.to_string(), &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            cfg: self.cfg.clone(),
+            _parent: self,
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(cfg: &Config, name: &str, f: &mut F) {
+    if let Some(filter) = &cfg.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher { cfg, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{:<40} (no samples)", name);
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{:<40} time: [{} {} {}]  ({} samples)",
+        name,
+        format_time(min),
+        format_time(mean),
+        format_time(max),
+        b.samples.len()
+    );
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Override the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&self.cfg, &full, &mut f);
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&self.cfg, &full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg.configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let cfg = Config {
+            sample_size: 5,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(20),
+            filter: None,
+        };
+        let mut b = Bencher { cfg: &cfg, samples: Vec::new() };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+        assert!(count > 5);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

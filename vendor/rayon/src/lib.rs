@@ -1,0 +1,135 @@
+//! Offline shim of the `rayon` parallel-iterator API.
+//!
+//! The build container has no crates.io access and exposes a single CPU, so
+//! this shim maps every `par_*` entry point onto the equivalent sequential
+//! `std` iterator. That keeps the workspace's parallel structure (and its
+//! determinism guarantees) intact at zero cost on this hardware; swapping the
+//! real rayon back in is a one-line change in the workspace manifest.
+//!
+//! Because the shim returns ordinary [`Iterator`]s / slices, the full adapter
+//! surface (`map`, `enumerate`, `filter`, `sum`, `collect`, …) is available
+//! exactly as with real rayon's `ParallelIterator`.
+
+/// Run two closures "in parallel" (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The rayon prelude: extension traits providing `par_iter` & friends.
+pub mod prelude {
+    /// `par_iter()` / `par_chunks()` / `par_chunks_mut()` on slices and Vecs.
+    pub trait ParallelSlice {
+        /// Immutable element type.
+        type Item;
+
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, Self::Item>;
+    }
+
+    /// Mutable counterpart of [`ParallelSlice`].
+    pub trait ParallelSliceMut {
+        /// Element type.
+        type Item;
+
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
+
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, Self::Item>;
+    }
+
+    impl<T> ParallelSlice for [T] {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+
+    impl<T> ParallelSliceMut for [T] {
+        type Item = T;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+
+    impl<T> ParallelSlice for Vec<T> {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_slice().iter()
+        }
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.as_slice().chunks(size)
+        }
+    }
+
+    impl<T> ParallelSliceMut for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.as_mut_slice().iter_mut()
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.as_mut_slice().chunks_mut(size)
+        }
+    }
+
+    /// `into_par_iter()` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential stand-in for `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let total: usize = (0..5usize).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(total, 30);
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! simplified serde data model in `vendor/serde`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote, which the
+//! offline container cannot fetch). Supports the shapes this workspace
+//! derives: non-generic structs with named fields, unit structs, newtype
+//! structs, and enums whose variants are unit, newtype, or struct-like —
+//! encoded externally tagged exactly like real serde's default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token list on top-level commas, tracking `<...>` depth so commas
+/// inside generic arguments don't split.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut items = 0usize;
+    let mut pending = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if pending {
+                    items += 1;
+                }
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        items += 1;
+    }
+    items
+}
+
+/// Parse the fields of a brace-delimited body: `name: Type, ...`.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < group.len() {
+        i = skip_meta(group, i);
+        let name = match group.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {:?}", other),
+        };
+        i += 1;
+        match group.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field, got {:?}", other),
+        }
+        // Skip the type up to a top-level comma (angle-bracket aware).
+        let mut depth = 0i32;
+        while i < group.len() {
+            match &group[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {:?}", other),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {:?}", other),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported offline (derive on `{}`)", name);
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&body))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(count_top_level_items(&body))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unsupported struct body {:?}", other),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<TokenTree>>()
+                }
+                other => panic!("serde_derive: expected enum body, got {:?}", other),
+            };
+            let mut variants = Vec::new();
+            let mut j = 0usize;
+            while j < body.len() {
+                j = skip_meta(&body, j);
+                let vname = match body.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => break,
+                    other => panic!("serde_derive: expected variant, got {:?}", other),
+                };
+                j += 1;
+                let fields = match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Named(parse_named_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Tuple(count_top_level_items(&inner))
+                    }
+                    _ => Fields::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = body.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+                variants.push((vname, fields));
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive on `{}` items", other),
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("serde::Value::Str(String::from(\"{}\"))", name),
+                Fields::Named(fs) => {
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))",
+                                f = f
+                            )
+                        })
+                        .collect();
+                    format!("serde::Value::Obj(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{})", k))
+                        .collect();
+                    format!("serde::Value::Arr(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}",
+                name = name,
+                body = body
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{n}::{v} => serde::Value::Str(String::from(\"{v}\")),",
+                        n = name,
+                        v = v
+                    ),
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), serde::Serialize::to_value({f}))",
+                                    f = f
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{n}::{v} {{ {binds} }} => serde::Value::Obj(vec![(String::from(\"{v}\"), serde::Value::Obj(vec![{entries}]))]),",
+                            n = name,
+                            v = v,
+                            binds = binds,
+                            entries = entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{n}::{v}(x0) => serde::Value::Obj(vec![(String::from(\"{v}\"), serde::Serialize::to_value(x0))]),",
+                        n = name,
+                        v = v
+                    ),
+                    Fields::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("x{}", i)).collect();
+                        let entries: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({})", b))
+                            .collect();
+                        format!(
+                            "{n}::{v}({binds}) => serde::Value::Obj(vec![(String::from(\"{v}\"), serde::Value::Arr(vec![{entries}]))]),",
+                            n = name,
+                            v = v,
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}",
+                name = name,
+                arms = arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({})", name),
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(match v.get(\"{f}\") {{ Some(x) => x, None => &serde::Value::Null }})?",
+                                f = f
+                            )
+                        })
+                        .collect();
+                    format!("Ok({} {{ {} }})", name, inits.join(", "))
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({}(serde::Deserialize::from_value(v)?))", name)
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "serde::Deserialize::from_value(match v {{ serde::Value::Arr(a) => &a[{k}], _ => return Err(serde::Error::expected(\"array\", v)) }})?",
+                                k = k
+                            )
+                        })
+                        .collect();
+                    format!("Ok({}({}))", name, inits.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+                 }}",
+                name = name,
+                body = body
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({n}::{v}),", v = v, n = name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| match fields {
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(match __inner.get(\"{f}\") {{ Some(x) => x, None => &serde::Value::Null }})?",
+                                    f = f
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => Ok({n}::{v} {{ {inits} }}),",
+                            v = v,
+                            n = name,
+                            inits = inits.join(", ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "\"{v}\" => Ok({n}::{v}(serde::Deserialize::from_value(__inner)?)),",
+                        v = v,
+                        n = name
+                    ),
+                    Fields::Tuple(k) => {
+                        let inits: Vec<String> = (0..*k)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::from_value(match __inner {{ serde::Value::Arr(a) => &a[{i}], _ => return Err(serde::Error::expected(\"array\", __inner)) }})?",
+                                    i = i
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => Ok({n}::{v}({inits})),",
+                            v = v,
+                            n = name,
+                            inits = inits.join(", ")
+                        )
+                    }
+                    Fields::Unit => unreachable!(),
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(serde::Error(format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                             }},\n\
+                             serde::Value::Obj(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__fields[0];\n\
+                                 let _ = __inner;\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => Err(serde::Error(format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(serde::Error::expected(\"enum encoding\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                name = name,
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated invalid Deserialize impl")
+}
