@@ -14,7 +14,13 @@ use fedclust_tensor::distance::Metric;
 
 fn setup() -> (FederatedDataset, FlConfig) {
     let groups: Vec<Vec<usize>> = (0..10)
-        .map(|c| if c < 5 { (0..5).collect() } else { (5..10).collect() })
+        .map(|c| {
+            if c < 5 {
+                (0..5).collect()
+            } else {
+                (5..10).collect()
+            }
+        })
         .collect();
     let fd = FederatedDataset::build_grouped(
         DatasetProfile::FmnistLike,
@@ -45,7 +51,9 @@ fn bench_weight_selection(c: &mut Criterion) {
     g.bench_function("final_layer", |b| {
         b.iter(|| proximity_matrix(&partial, Metric::L2))
     });
-    g.bench_function("full_model", |b| b.iter(|| proximity_matrix(&full, Metric::L2)));
+    g.bench_function("full_model", |b| {
+        b.iter(|| proximity_matrix(&full, Metric::L2))
+    });
     g.finish();
 }
 

@@ -15,7 +15,10 @@ use rand::{Rng, SeedableRng};
 fn random(shape: &[usize], seed: u64) -> Tensor {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let n: usize = shape.iter().product();
-    Tensor::from_vec(shape.to_vec(), (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    Tensor::from_vec(
+        shape.to_vec(),
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
 }
 
 fn bench_matmul(c: &mut Criterion) {

@@ -2,16 +2,27 @@
 //! and FedClust at benchmark scale and prints their final accuracy — a
 //! fast way to probe scale/difficulty changes without a full grid.
 
+use fedclust::FedClust;
 use fedclust_bench::scale::Scale;
 use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
 use fedclust_fl::methods::{FedAvg, LocalOnly};
 use fedclust_fl::FlMethod;
-use fedclust::FedClust;
 fn main() {
     let scale = Scale::for_profile(DatasetProfile::Cifar100Like, 42);
-    let fd = FederatedDataset::build(DatasetProfile::Cifar100Like, Partition::LabelSkew { fraction: 0.2 }, &scale.federated);
-    for m in [&FedAvg as &dyn FlMethod, &LocalOnly::default(), &FedClust::default()] {
+    let fd = FederatedDataset::build(
+        DatasetProfile::Cifar100Like,
+        Partition::LabelSkew { fraction: 0.2 },
+        &scale.federated,
+    );
+    for m in [
+        &FedAvg as &dyn FlMethod,
+        &LocalOnly::default(),
+        &FedClust::default(),
+    ] {
         let r = m.run(&fd, &scale.fl);
-        println!("{}: {:.3} (k={:?}, {:.1} Mb)", r.method, r.final_acc, r.num_clusters, r.total_mb);
+        println!(
+            "{}: {:.3} (k={:?}, {:.1} Mb)",
+            r.method, r.final_acc, r.num_clusters, r.total_mb
+        );
     }
 }

@@ -15,67 +15,70 @@ use fedclust_fl::engine::init_model;
 fn main() {
     let partition = Partition::LabelSkew { fraction: 0.2 };
     for profile in DatasetProfile::ALL {
-      for seed in [42u64, 1042] {
-        let scale = Scale::for_profile(profile, seed);
-        let fd = FederatedDataset::build(profile, partition, &scale.federated);
-        let cfg = scale.fl;
-        let method = FedClust::default();
-        let template = init_model(&fd, &cfg);
-        let init = template.state_vec();
-        let truth = fd.ground_truth_groups();
-        let n_truth = truth.iter().copied().max().unwrap_or(0) + 1;
+        for seed in [42u64, 1042] {
+            let scale = Scale::for_profile(profile, seed);
+            let fd = FederatedDataset::build(profile, partition, &scale.federated);
+            let cfg = scale.fl;
+            let method = FedClust::default();
+            let template = init_model(&fd, &cfg);
+            let init = template.state_vec();
+            let truth = fd.ground_truth_groups();
+            let n_truth = truth.iter().copied().max().unwrap_or(0) + 1;
 
-        let weights = collect_partial_weights(
-            &fd,
-            &cfg,
-            &template,
-            &init,
-            method.warmup_epochs,
-            method.selection,
-        );
-        let matrix = proximity_matrix(&weights, method.metric);
-        let dendro = agglomerative(&matrix, method.linkage);
-        println!(
-            "## {} — {} clients, {} ground-truth groups",
-            profile.name(),
-            fd.num_clients(),
-            n_truth
-        );
-        let d: Vec<f32> = dendro.merges().iter().map(|m| m.distance).collect();
-        println!(
-            "merge distances: min {:.3} q25 {:.3} median {:.3} q75 {:.3} max {:.3}",
-            d.first().copied().unwrap_or(0.0),
-            d[d.len() / 4],
-            d[d.len() / 2],
-            d[3 * d.len() / 4],
-            d.last().copied().unwrap_or(0.0),
-        );
-        print!("profile: ");
-        for v in d.iter() {
-            print!("{:.3} ", v);
-        }
-        println!();
-        for (name, select) in [
-            ("auto-gap", LambdaSelect::AutoGap),
-            ("auto-relgap", LambdaSelect::Auto),
-        ] {
-            let o = cluster_clients(&matrix, method.linkage, select);
-            let ari = adjusted_rand_index(&o.labels, &truth);
+            let weights = collect_partial_weights(
+                &fd,
+                &cfg,
+                &template,
+                &init,
+                method.warmup_epochs,
+                method.selection,
+            );
+            let matrix = proximity_matrix(&weights, method.metric);
+            let dendro = agglomerative(&matrix, method.linkage);
             println!(
-                "{}: λ={:.3} → {} clusters, ARI {:.3}",
-                name, o.lambda, o.num_clusters, ari
+                "## {} — {} clients, {} ground-truth groups",
+                profile.name(),
+                fd.num_clients(),
+                n_truth
+            );
+            let d: Vec<f32> = dendro.merges().iter().map(|m| m.distance).collect();
+            println!(
+                "merge distances: min {:.3} q25 {:.3} median {:.3} q75 {:.3} max {:.3}",
+                d.first().copied().unwrap_or(0.0),
+                d[d.len() / 4],
+                d[d.len() / 2],
+                d[3 * d.len() / 4],
+                d.last().copied().unwrap_or(0.0),
+            );
+            print!("profile: ");
+            for v in d.iter() {
+                print!("{:.3} ", v);
+            }
+            println!();
+            for (name, select) in [
+                ("auto-gap", LambdaSelect::AutoGap),
+                ("auto-relgap", LambdaSelect::Auto),
+            ] {
+                let o = cluster_clients(&matrix, method.linkage, select);
+                let ari = adjusted_rand_index(&o.labels, &truth);
+                println!(
+                    "{}: λ={:.3} → {} clusters, ARI {:.3}",
+                    name, o.lambda, o.num_clusters, ari
+                );
+            }
+            // Best achievable over all k-cuts, for reference.
+            let mut best = (0usize, -1.0f64);
+            for k in 1..fd.num_clients() {
+                let labels = dendro.cut_k(k);
+                let ari = adjusted_rand_index(&labels, &truth);
+                if ari > best.1 {
+                    best = (k, ari);
+                }
+            }
+            println!(
+                "seed {}: best k-cut vs truth: k={} ARI {:.3}\n",
+                seed, best.0, best.1
             );
         }
-        // Best achievable over all k-cuts, for reference.
-        let mut best = (0usize, -1.0f64);
-        for k in 1..fd.num_clients() {
-            let labels = dendro.cut_k(k);
-            let ari = adjusted_rand_index(&labels, &truth);
-            if ari > best.1 {
-                best = (k, ari);
-            }
-        }
-        println!("seed {}: best k-cut vs truth: k={} ARI {:.3}\n", seed, best.0, best.1);
-      }
     }
 }

@@ -20,7 +20,13 @@ use fedclust_nn::models::ModelSpec;
 fn main() {
     let profile = DatasetProfile::Cifar10Like;
     let groups: Vec<Vec<usize>> = (0..10)
-        .map(|c| if c < 5 { (0..5).collect() } else { (5..10).collect() })
+        .map(|c| {
+            if c < 5 {
+                (0..5).collect()
+            } else {
+                (5..10).collect()
+            }
+        })
         .collect();
     let fd = FederatedDataset::build_grouped(
         profile,
@@ -32,9 +38,11 @@ fn main() {
             seed: 42,
         },
     );
-    let mut cfg = FlConfig::default();
-    cfg.model = ModelSpec::VggMini;
-    cfg.local_epochs = 3;
+    let cfg = FlConfig {
+        model: ModelSpec::VggMini,
+        local_epochs: 3,
+        ..FlConfig::default()
+    };
     let template = init_model(&fd, &cfg);
     let init_state = template.state_vec();
     let truth = fd.ground_truth_groups();
@@ -48,7 +56,9 @@ fn main() {
         (blocks.len() - 1, "(d) FC 2 (final layer)"),
     ];
 
-    println!("Fig. 1: distance matrices from different layer weights (VGG-mini, 10 clients, 2 groups)");
+    println!(
+        "Fig. 1: distance matrices from different layer weights (VGG-mini, 10 clients, 2 groups)"
+    );
     println!("Ground-truth groups: clients 0-4 hold classes 0-4; clients 5-9 hold classes 5-9.\n");
     for (block, label) in picks {
         let weights = collect_partial_weights(
@@ -64,7 +74,10 @@ fn main() {
         let ari = adjusted_rand_index(&outcome.labels, &truth);
         let max = m.max_distance().max(1e-9);
 
-        println!("{} — {} weights; HC clusters: {}, ARI vs truth: {:.2}", label, blocks[block].len, outcome.num_clusters, ari);
+        println!(
+            "{} — {} weights; HC clusters: {}, ARI vs truth: {:.2}",
+            label, blocks[block].len, outcome.num_clusters, ari
+        );
         // Normalised distances ×100 for a compact readable heat map.
         print!("      ");
         for j in 0..10 {

@@ -23,10 +23,17 @@ fn main() {
         cfg.rounds = (cfg.rounds / 2).max(4);
         let method = FedClust::default();
         let grid = lambda_grid(&fd, &cfg, &method, 6);
-        eprintln!("[fig4] {}: sweeping {} λ values", profile.name(), grid.len());
+        eprintln!(
+            "[fig4] {}: sweeping {} λ values",
+            profile.name(),
+            grid.len()
+        );
         let points = sweep(&fd, &cfg, &method, &grid);
         println!("## {}", profile.name());
-        println!("| {:>10} | {:>9} | {:>12} |", "λ", "#clusters", "accuracy (%)");
+        println!(
+            "| {:>10} | {:>9} | {:>12} |",
+            "λ", "#clusters", "accuracy (%)"
+        );
         for p in &points {
             println!(
                 "| {:>10.4} | {:>9} | {:>12.2} |",

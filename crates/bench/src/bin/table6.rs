@@ -42,7 +42,16 @@ fn personalize_and_eval(
             momentum: 0.5, // the paper's personalized-method momentum
             weight_decay: cfg.weight_decay,
         });
-        local_train(&mut model, nc, &mut opt, epochs, cfg.batch_size, cfg.seed, 3_000_000 + id, 0);
+        local_train(
+            &mut model,
+            nc,
+            &mut opt,
+            epochs,
+            cfg.batch_size,
+            cfg.seed,
+            3_000_000 + id,
+            0,
+        );
     }
     let idx: Vec<usize> = (0..nc.test.len()).collect();
     if idx.is_empty() {
@@ -62,7 +71,15 @@ fn mean(v: &[f32]) -> f64 {
 fn main() {
     let partition = Partition::LabelSkew { fraction: 0.2 };
     let methods = [
-        "Local", "FedAvg", "FedProx", "FedNova", "LG", "PerFedAvg", "IFCA", "PACFL", "FedClust",
+        "Local",
+        "FedAvg",
+        "FedProx",
+        "FedNova",
+        "LG",
+        "PerFedAvg",
+        "IFCA",
+        "PACFL",
+        "FedClust",
     ];
     // accs[method][dataset] = per-seed means
     let mut accs: Vec<Vec<Vec<f64>>> =
@@ -91,8 +108,9 @@ fn main() {
 
             // Local: newcomers train alone from θ⁰ with a budget comparable
             // to a federated client's expected training.
-            let budget =
-                ((cfg.rounds as f32 * cfg.sample_rate * cfg.local_epochs as f32).round() as usize).max(1);
+            let budget = ((cfg.rounds as f32 * cfg.sample_rate * cfg.local_epochs as f32).round()
+                as usize)
+                .max(1);
             let local: Vec<f32> = newcomers
                 .iter()
                 .enumerate()
@@ -167,7 +185,14 @@ fn main() {
                                 la.partial_cmp(&lb).unwrap()
                             })
                             .unwrap_or(0);
-                        personalize_and_eval(&template, &states[best], nc, &cfg, PERSONALIZE_EPOCHS, i)
+                        personalize_and_eval(
+                            &template,
+                            &states[best],
+                            nc,
+                            &cfg,
+                            PERSONALIZE_EPOCHS,
+                            i,
+                        )
                     })
                     .collect();
                 record(6, vals);
@@ -197,7 +222,14 @@ fn main() {
                                 da.partial_cmp(&db).unwrap()
                             })
                             .unwrap_or(0);
-                        personalize_and_eval(&template, &art.states[best], nc, &cfg, PERSONALIZE_EPOCHS, i)
+                        personalize_and_eval(
+                            &template,
+                            &art.states[best],
+                            nc,
+                            &cfg,
+                            PERSONALIZE_EPOCHS,
+                            i,
+                        )
                     })
                     .collect();
                 record(7, vals);
@@ -220,15 +252,16 @@ fn main() {
         }
     }
 
-    println!("Table 6: Average local test accuracy (%) of newcomer clients (Non-IID label skew 20%)");
+    println!(
+        "Table 6: Average local test accuracy (%) of newcomer clients (Non-IID label skew 20%)"
+    );
     println!(
         "| {:<9} | {:>16} | {:>16} | {:>16} | {:>16} |",
         "Method", "CIFAR-10", "CIFAR-100", "FMNIST", "SVHN"
     );
     for (mi, m) in methods.iter().enumerate() {
         print!("| {:<9} |", m);
-        for di in 0..DatasetProfile::ALL.len() {
-            let xs = &accs[mi][di];
+        for xs in &accs[mi] {
             let (mean, std) = fedclust_fl::metrics::mean_std(xs);
             print!(" {:>7.2} ± {:>5.2} |", mean * 100.0, std * 100.0);
         }

@@ -78,11 +78,15 @@ fn results_dir() -> PathBuf {
 pub fn run_grid(partition: Partition) -> GridResults {
     let tag = partition.tag();
     let path = results_dir().join(format!("grid_{}.json", tag));
-    let refresh = std::env::var("FEDCLUST_REFRESH").map_or(false, |v| v == "1");
+    let refresh = std::env::var("FEDCLUST_REFRESH").is_ok_and(|v| v == "1");
     if !refresh {
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Ok(grid) = serde_json::from_str::<GridResults>(&text) {
-                eprintln!("[grid {}] loaded cached results from {}", tag, path.display());
+                eprintln!(
+                    "[grid {}] loaded cached results from {}",
+                    tag,
+                    path.display()
+                );
                 return grid;
             }
         }
@@ -148,6 +152,7 @@ mod tests {
                 history: vec![],
                 num_clusters: None,
                 total_mb: 1.0,
+                faults: Default::default(),
             },
         }
     }
@@ -180,7 +185,10 @@ mod tests {
                 entry("B", "FedAvg", 1, 0.1),
             ],
         };
-        assert_eq!(grid.methods(), vec!["FedAvg".to_string(), "FedClust".to_string()]);
+        assert_eq!(
+            grid.methods(),
+            vec!["FedAvg".to_string(), "FedClust".to_string()]
+        );
     }
 
     #[test]

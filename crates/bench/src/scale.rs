@@ -20,7 +20,7 @@ pub struct Scale {
 }
 
 fn fast() -> bool {
-    std::env::var("FEDCLUST_FAST").map_or(false, |v| v == "1")
+    std::env::var("FEDCLUST_FAST").is_ok_and(|v| v == "1")
 }
 
 /// Seeds for mean ± std aggregation (paper: 3 runs). Override with
@@ -59,6 +59,7 @@ impl Scale {
                     eval_every: 2,
                     seed,
                     dropout_rate: 0.0,
+                    faults: fedclust_fl::FaultPlan::none(),
                 },
             },
             _ => Scale {
@@ -80,6 +81,7 @@ impl Scale {
                     eval_every: 2,
                     seed,
                     dropout_rate: 0.0,
+                    faults: fedclust_fl::FaultPlan::none(),
                 },
             },
         }

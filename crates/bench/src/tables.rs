@@ -5,7 +5,16 @@ use fedclust_data::DatasetProfile;
 
 /// Method ordering used by the paper's tables.
 pub const METHOD_ORDER: [&str; 10] = [
-    "Local", "FedAvg", "FedProx", "FedNova", "LG", "PerFedAvg", "CFL", "IFCA", "PACFL", "FedClust",
+    "Local",
+    "FedAvg",
+    "FedProx",
+    "FedNova",
+    "LG",
+    "PerFedAvg",
+    "CFL",
+    "IFCA",
+    "PACFL",
+    "FedClust",
 ];
 
 /// Dataset column order used by the paper's tables.
@@ -132,7 +141,10 @@ pub fn comm_table(grid: &GridResults, title: &str) -> String {
 pub fn fig3_series(grid: &GridResults) -> String {
     let mut out = String::new();
     for dataset in dataset_order() {
-        out.push_str(&format!("## {} — accuracy vs communication rounds\n", dataset));
+        out.push_str(&format!(
+            "## {} — accuracy vs communication rounds\n",
+            dataset
+        ));
         for method in METHOD_ORDER {
             if let Some(agg) = grid.aggregate(dataset, method) {
                 // Average the histories point-wise across seeds (rounds align
@@ -179,7 +191,11 @@ mod tests {
                             final_acc: if method == "FedClust" { 0.9 } else { 0.5 },
                             per_client_acc: vec![],
                             history: vec![
-                                RoundRecord { round: 2, avg_acc: 0.4, cum_mb: 1.0 },
+                                RoundRecord {
+                                    round: 2,
+                                    avg_acc: 0.4,
+                                    cum_mb: 1.0,
+                                },
                                 RoundRecord {
                                     round: 4,
                                     avg_acc: if method == "FedClust" { 0.9 } else { 0.5 },
@@ -188,6 +204,7 @@ mod tests {
                             ],
                             num_clusters: None,
                             total_mb: 2.0,
+                            faults: Default::default(),
                         },
                     });
                 }

@@ -42,6 +42,20 @@ pub struct Args {
     pub seed: u64,
     /// Client dropout probability.
     pub dropout: f32,
+    /// Uplink loss probability (fault injection).
+    pub uplink_loss: f32,
+    /// Per-attempt downlink loss probability (fault injection).
+    pub downlink_loss: f32,
+    /// Update corruption probability (fault injection).
+    pub corrupt_rate: f32,
+    /// Straggler probability (fault injection).
+    pub straggler_rate: f32,
+    /// Mean straggler delay, in units of the round deadline scale.
+    pub straggler_delay: f32,
+    /// Round deadline; straggler uploads later than this are dropped.
+    pub deadline: f32,
+    /// Downlink retry budget per client per round.
+    pub retries: usize,
     /// Emit machine-readable JSON instead of text (run subcommand).
     pub json: bool,
 }
@@ -76,6 +90,13 @@ OPTIONS:
   --samples-per-class <N>   pool size per class        (default 100)
   --seed <N>                root seed                  (default 42)
   --dropout <F>             client dropout probability (default 0)
+  --uplink-loss <F>         uplink loss probability    (default 0)
+  --downlink-loss <F>       downlink loss per attempt  (default 0)
+  --corrupt-rate <F>        update corruption rate     (default 0)
+  --straggler-rate <F>      straggler probability      (default 0)
+  --straggler-delay <F>     mean straggler delay       (default 1.0)
+  --deadline <F>            round deadline             (default 1.0)
+  --retries <N>             downlink retry budget      (default 2)
   --json                    machine-readable output (run)
 ";
 
@@ -92,6 +113,13 @@ impl Args {
             samples_per_class: 100,
             seed: 42,
             dropout: 0.0,
+            uplink_loss: 0.0,
+            downlink_loss: 0.0,
+            corrupt_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_delay: 1.0,
+            deadline: 1.0,
+            retries: 2,
             json: false,
         }
     }
@@ -110,7 +138,12 @@ impl Args {
             "sweep" => Args::defaults(Command::Sweep { points: 6 }),
             "methods" => Args::defaults(Command::Methods),
             "--help" | "-h" | "help" => return Err(ParseError(USAGE.into())),
-            other => return Err(ParseError(format!("unknown subcommand '{}'\n{}", other, USAGE))),
+            other => {
+                return Err(ParseError(format!(
+                    "unknown subcommand '{}'\n{}",
+                    other, USAGE
+                )))
+            }
         };
 
         while let Some(flag) = it.next() {
@@ -149,10 +182,26 @@ impl Args {
                 }
                 "--seed" => args.seed = parse_num(value("--seed")?, "--seed")?,
                 "--dropout" => args.dropout = parse_num(value("--dropout")?, "--dropout")?,
-                "--json" => args.json = true,
-                other => {
-                    return Err(ParseError(format!("unknown option '{}'\n{}", other, USAGE)))
+                "--uplink-loss" => {
+                    args.uplink_loss = parse_num(value("--uplink-loss")?, "--uplink-loss")?
                 }
+                "--downlink-loss" => {
+                    args.downlink_loss = parse_num(value("--downlink-loss")?, "--downlink-loss")?
+                }
+                "--corrupt-rate" => {
+                    args.corrupt_rate = parse_num(value("--corrupt-rate")?, "--corrupt-rate")?
+                }
+                "--straggler-rate" => {
+                    args.straggler_rate = parse_num(value("--straggler-rate")?, "--straggler-rate")?
+                }
+                "--straggler-delay" => {
+                    args.straggler_delay =
+                        parse_num(value("--straggler-delay")?, "--straggler-delay")?
+                }
+                "--deadline" => args.deadline = parse_num(value("--deadline")?, "--deadline")?,
+                "--retries" => args.retries = parse_num(value("--retries")?, "--retries")?,
+                "--json" => args.json = true,
+                other => return Err(ParseError(format!("unknown option '{}'\n{}", other, USAGE))),
             }
         }
         if let Command::Run { method } = &args.command {
@@ -161,10 +210,27 @@ impl Args {
             }
         }
         if args.clients == 0 || args.rounds == 0 || args.epochs == 0 {
-            return Err(ParseError("clients, rounds and epochs must be positive".into()));
+            return Err(ParseError(
+                "clients, rounds and epochs must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&args.dropout) {
             return Err(ParseError("--dropout must be in [0, 1]".into()));
+        }
+        for (flag, value) in [
+            ("--uplink-loss", args.uplink_loss),
+            ("--downlink-loss", args.downlink_loss),
+            ("--corrupt-rate", args.corrupt_rate),
+            ("--straggler-rate", args.straggler_rate),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ParseError(format!("{} must be in [0, 1]", flag)));
+            }
+        }
+        if args.straggler_delay < 0.0 || args.deadline < 0.0 {
+            return Err(ParseError(
+                "--straggler-delay and --deadline must be non-negative".into(),
+            ));
         }
         if !(0.0 < args.sample_rate && args.sample_rate <= 1.0) {
             return Err(ParseError("--sample-rate must be in (0, 1]".into()));
@@ -190,7 +256,12 @@ mod tests {
     fn run_requires_method() {
         assert!(Args::parse(&argv(&["run"])).is_err());
         let a = Args::parse(&argv(&["run", "--method", "fedclust"])).unwrap();
-        assert_eq!(a.command, Command::Run { method: "fedclust".into() });
+        assert_eq!(
+            a.command,
+            Command::Run {
+                method: "fedclust".into()
+            }
+        );
     }
 
     #[test]
@@ -205,8 +276,18 @@ mod tests {
     #[test]
     fn options_override_defaults() {
         let a = Args::parse(&argv(&[
-            "run", "--method", "fedavg", "--clients", "7", "--rounds", "3", "--seed", "9",
-            "--dropout", "0.25", "--json",
+            "run",
+            "--method",
+            "fedavg",
+            "--clients",
+            "7",
+            "--rounds",
+            "3",
+            "--seed",
+            "9",
+            "--dropout",
+            "0.25",
+            "--json",
         ]))
         .unwrap();
         assert_eq!(a.clients, 7);
@@ -232,6 +313,45 @@ mod tests {
         assert!(Args::parse(&argv(&["run", "--method", "x", "--sample-rate", "0"])).is_err());
         assert!(Args::parse(&argv(&["frobnicate"])).is_err());
         assert!(Args::parse(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let a = Args::parse(&argv(&[
+            "run",
+            "--method",
+            "fedclust",
+            "--uplink-loss",
+            "0.3",
+            "--downlink-loss",
+            "0.1",
+            "--corrupt-rate",
+            "0.05",
+            "--straggler-rate",
+            "0.2",
+            "--straggler-delay",
+            "0.5",
+            "--deadline",
+            "2.0",
+            "--retries",
+            "4",
+        ]))
+        .unwrap();
+        assert!((a.uplink_loss - 0.3).abs() < 1e-6);
+        assert!((a.downlink_loss - 0.1).abs() < 1e-6);
+        assert!((a.corrupt_rate - 0.05).abs() < 1e-6);
+        assert!((a.straggler_rate - 0.2).abs() < 1e-6);
+        assert!((a.straggler_delay - 0.5).abs() < 1e-6);
+        assert!((a.deadline - 2.0).abs() < 1e-6);
+        assert_eq!(a.retries, 4);
+        // Defaults keep every fault channel off.
+        let d = Args::parse(&argv(&["run", "--method", "fedavg"])).unwrap();
+        assert_eq!(d.uplink_loss, 0.0);
+        assert_eq!(d.retries, 2);
+        // Probabilities outside [0, 1] and negative times are rejected.
+        assert!(Args::parse(&argv(&["run", "--method", "x", "--uplink-loss", "1.5"])).is_err());
+        assert!(Args::parse(&argv(&["run", "--method", "x", "--corrupt-rate", "-0.1"])).is_err());
+        assert!(Args::parse(&argv(&["run", "--method", "x", "--deadline", "-1"])).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use fedclust::FedClust;
 use fedclust_cluster::metrics::adjusted_rand_index;
 use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
 use fedclust_fl::methods::{baselines, extended_baselines, FlMethod};
-use fedclust_fl::FlConfig;
+use fedclust_fl::{FaultPlan, FlConfig};
 
 pub mod args;
 
@@ -80,8 +80,9 @@ pub fn execute(args: &Args) -> Result<String, String> {
     match &args.command {
         Command::Methods => Ok(format!("available methods: {}", method_names().join(", "))),
         Command::Run { method } => {
-            let m = find_method(method)
-                .ok_or_else(|| format!("unknown method '{}'; try `fedclust-cli methods`", method))?;
+            let m = find_method(method).ok_or_else(|| {
+                format!("unknown method '{}'; try `fedclust-cli methods`", method)
+            })?;
             let fd = build_dataset(args)?;
             let cfg = build_config(args);
             let result = m.run(&fd, &cfg);
@@ -97,6 +98,15 @@ pub fn execute(args: &Args) -> Result<String, String> {
                 );
                 if let Some(k) = result.num_clusters {
                     out.push_str(&format!(", {} clusters", k));
+                }
+                if cfg.faults.is_active() {
+                    out.push_str(&format!(
+                        "\n  faults: {} injected, {} quarantined, {} retries, {} deadline misses",
+                        result.faults.faults_injected,
+                        result.faults.updates_quarantined,
+                        result.faults.retries,
+                        result.faults.deadline_misses
+                    ));
                 }
                 for r in &result.history {
                     out.push_str(&format!(
@@ -144,8 +154,8 @@ pub fn execute(args: &Args) -> Result<String, String> {
 }
 
 fn build_dataset(args: &Args) -> Result<FederatedDataset, String> {
-    let profile =
-        parse_dataset(&args.dataset).ok_or_else(|| format!("unknown dataset '{}'", args.dataset))?;
+    let profile = parse_dataset(&args.dataset)
+        .ok_or_else(|| format!("unknown dataset '{}'", args.dataset))?;
     let partition = parse_partition(&args.partition)
         .ok_or_else(|| format!("unknown partition '{}'", args.partition))?;
     Ok(FederatedDataset::build(
@@ -177,6 +187,16 @@ fn build_config(args: &Args) -> FlConfig {
         eval_every: 2,
         seed: args.seed,
         dropout_rate: args.dropout,
+        faults: FaultPlan {
+            downlink_loss: args.downlink_loss,
+            max_downlink_retries: args.retries,
+            uplink_loss: args.uplink_loss,
+            straggler_rate: args.straggler_rate,
+            straggler_mean_delay: args.straggler_delay,
+            round_deadline: args.deadline,
+            corruption_rate: args.corrupt_rate,
+        }
+        .sanitized(),
     }
 }
 
@@ -187,11 +207,25 @@ mod tests {
     #[test]
     fn all_paper_methods_are_findable() {
         for name in [
-            "Local", "FedAvg", "FedProx", "FedNova", "LG", "PerFedAvg", "CFL", "IFCA", "PACFL",
-            "FedClust", "SCAFFOLD", "FedDyn",
+            "Local",
+            "FedAvg",
+            "FedProx",
+            "FedNova",
+            "LG",
+            "PerFedAvg",
+            "CFL",
+            "IFCA",
+            "PACFL",
+            "FedClust",
+            "SCAFFOLD",
+            "FedDyn",
         ] {
             assert!(find_method(name).is_some(), "missing {}", name);
-            assert!(find_method(&name.to_lowercase()).is_some(), "case-insensitive {}", name);
+            assert!(
+                find_method(&name.to_lowercase()).is_some(),
+                "case-insensitive {}",
+                name
+            );
         }
         assert!(find_method("nope").is_none());
     }
@@ -199,7 +233,10 @@ mod tests {
     #[test]
     fn dataset_parsing() {
         assert_eq!(parse_dataset("cifar10"), Some(DatasetProfile::Cifar10Like));
-        assert_eq!(parse_dataset("CIFAR-100"), Some(DatasetProfile::Cifar100Like));
+        assert_eq!(
+            parse_dataset("CIFAR-100"),
+            Some(DatasetProfile::Cifar100Like)
+        );
         assert_eq!(parse_dataset("fmnist"), Some(DatasetProfile::FmnistLike));
         assert_eq!(parse_dataset("svhn"), Some(DatasetProfile::SvhnLike));
         assert_eq!(parse_dataset("mnist"), None);
@@ -252,6 +289,35 @@ mod tests {
         let out = execute(&args).unwrap();
         assert!(out.contains("FedAvg"), "{}", out);
         assert!(out.contains("final accuracy"), "{}", out);
+    }
+
+    #[test]
+    fn execute_faulty_run_reports_telemetry() {
+        let args = Args::parse(&[
+            "run".into(),
+            "--method".into(),
+            "fedavg".into(),
+            "--dataset".into(),
+            "fmnist".into(),
+            "--partition".into(),
+            "skew50".into(),
+            "--clients".into(),
+            "4".into(),
+            "--rounds".into(),
+            "2".into(),
+            "--epochs".into(),
+            "1".into(),
+            "--samples-per-class".into(),
+            "10".into(),
+            "--uplink-loss".into(),
+            "0.5".into(),
+            "--downlink-loss".into(),
+            "0.5".into(),
+        ])
+        .unwrap();
+        let out = execute(&args).unwrap();
+        assert!(out.contains("final accuracy"), "{}", out);
+        assert!(out.contains("faults:"), "{}", out);
     }
 
     #[test]

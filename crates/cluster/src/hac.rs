@@ -96,7 +96,11 @@ impl Dendrogram {
     /// `distance <= lambda`. Returns a cluster id (0-based, compacted) per
     /// item. Larger λ ⇒ fewer clusters.
     pub fn cut_at(&self, lambda: f32) -> Vec<usize> {
-        let applied = self.merges.iter().take_while(|m| m.distance <= lambda).count();
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= lambda)
+            .count();
         self.assign_after(applied)
     }
 
@@ -109,7 +113,11 @@ impl Dendrogram {
 
     /// Number of clusters a λ-cut would produce.
     pub fn num_clusters_at(&self, lambda: f32) -> usize {
-        let applied = self.merges.iter().take_while(|m| m.distance <= lambda).count();
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= lambda)
+            .count();
         self.n - applied
     }
 
@@ -163,7 +171,8 @@ impl Dendrogram {
             parent[rb] = new_id;
         }
         // Compact root ids to 0-based cluster labels in first-seen order.
-        let mut label_of_root: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut label_of_root: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
         let mut out = Vec::with_capacity(self.n);
         for item in 0..self.n {
             let root = find(&mut parent, item);
@@ -181,7 +190,10 @@ impl Dendrogram {
 pub fn agglomerative(matrix: &ProximityMatrix, linkage: Linkage) -> Dendrogram {
     let n = matrix.len();
     if n == 0 {
-        return Dendrogram { n, merges: Vec::new() };
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+        };
     }
     // Working distance matrix indexed by *slot*; each slot holds an active
     // cluster (or is dead after being merged away).

@@ -163,7 +163,10 @@ pub fn purity(predicted: &[usize], truth: &[usize]) -> f64 {
         return 1.0;
     }
     let (table, _, _) = contingency(predicted, truth);
-    let correct: u64 = table.iter().map(|r| r.iter().copied().max().unwrap_or(0)).sum();
+    let correct: u64 = table
+        .iter()
+        .map(|r| r.iter().copied().max().unwrap_or(0))
+        .sum();
     correct as f64 / predicted.len() as f64
 }
 

@@ -1,13 +1,13 @@
 //! FedClust, Algorithm 1: the full method.
 
 use crate::clustering::{cluster_clients, ClusteringOutcome, LambdaSelect};
-use crate::proximity::{collect_partial_weights, proximity_matrix, WeightSelection};
+use crate::proximity::{collect_partial_weights_for, proximity_matrix, WeightSelection};
 use fedclust_cluster::hac::Linkage;
 use fedclust_data::FederatedDataset;
-use fedclust_fl::comm::CommMeter;
 use fedclust_fl::engine::{
-    average_accuracy, evaluate_clients, init_model, sample_clients, train_sampled, weighted_average,
+    average_accuracy, evaluate_clients, init_model, sample_clients, train_round, weighted_average,
 };
+use fedclust_fl::faults::Transport;
 use fedclust_fl::methods::FlMethod;
 use fedclust_fl::metrics::{RoundRecord, RunResult};
 use fedclust_fl::FlConfig;
@@ -73,56 +73,103 @@ impl FedClust {
     /// Run FedClust and keep the trained federation for post-hoc use
     /// (newcomer incorporation, cluster inspection). The returned
     /// [`RunResult`] is identical to what [`FlMethod::run`] reports.
-    pub fn run_detailed(&self, fd: &FederatedDataset, cfg: &FlConfig) -> (RunResult, TrainedFederation) {
+    pub fn run_detailed(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+    ) -> (RunResult, TrainedFederation) {
         let template = init_model(fd, cfg);
         let state_len = template.state_len();
         let init_state = template.state_vec();
-        let mut comm = CommMeter::new();
+        let mut transport = Transport::new(cfg);
 
         // ---- Round 0 (Algorithm 1, lines 2–7): one-shot clustering. ----
-        // Server broadcasts θ⁰ to all clients; each trains briefly and
-        // uploads only the selected partial weights.
+        // Server broadcasts θ⁰ to all clients; each the downlink reaches
+        // trains briefly and uploads only the selected partial weights.
+        // Clustering must tolerate missing partials: it runs over whatever
+        // uploads survive the uplink and the quarantine screen.
         let upload_len = self.selection.upload_len(&template);
-        for _ in 0..fd.num_clients() {
-            comm.down(state_len);
-            comm.up(upload_len);
-        }
-        let partials = collect_partial_weights(
+        let all_clients: Vec<usize> = (0..fd.num_clients()).collect();
+        let reached = transport.broadcast(0, &all_clients, state_len);
+        let collected = collect_partial_weights_for(
             fd,
             cfg,
             &template,
             &init_state,
             self.warmup_epochs,
             self.selection,
+            &reached,
         );
-        let matrix = proximity_matrix(&partials, self.metric);
-        let outcome = cluster_clients(&matrix, self.linkage, self.lambda);
-        let k = outcome.num_clusters.max(1);
+        // A stale round-0 corruption replays the untrained partial weights.
+        let init_partial = self.selection.extract(&template);
+        let mut survivors: Vec<usize> = Vec::with_capacity(reached.len());
+        let mut partials: Vec<Vec<f32>> = Vec::with_capacity(reached.len());
+        for (&client, mut partial) in reached.iter().zip(collected) {
+            if transport.uplink(0, client, upload_len, &mut partial, Some(&init_partial))
+                && transport.screen(&partial, upload_len)
+            {
+                survivors.push(client);
+                partials.push(partial);
+            }
+        }
 
-        // Per-cluster representative partial weights (for Algorithm 2).
-        let representatives: Vec<Vec<f32>> = (0..k)
-            .map(|ci| {
-                let members: Vec<&[f32]> = partials
-                    .iter()
-                    .zip(&outcome.labels)
-                    .filter(|(_, &l)| l == ci)
-                    .map(|(p, _)| p.as_slice())
-                    .collect();
-                let items: Vec<(&[f32], f32)> = members.iter().map(|m| (*m, 1.0)).collect();
-                weighted_average(&items)
-            })
-            .collect();
+        let (outcome, representatives) = if survivors.len() >= 2 {
+            let matrix = proximity_matrix(&partials, self.metric);
+            let sub = cluster_clients(&matrix, self.linkage, self.lambda);
+            let k = sub.num_clusters.max(1);
+            // Per-cluster representative partial weights (for Algorithm 2),
+            // centroids of the surviving members.
+            let representatives: Vec<Vec<f32>> = (0..k)
+                .map(|ci| {
+                    let items: Vec<(&[f32], f32)> = partials
+                        .iter()
+                        .zip(&sub.labels)
+                        .filter(|(_, &l)| l == ci)
+                        .map(|(p, _)| (p.as_slice(), 1.0))
+                        .collect();
+                    weighted_average(&items)
+                })
+                .collect();
+            // Clients with no usable partial join the largest cluster —
+            // the safest default under Eq. 2's weighted aggregation.
+            let mut sizes = vec![0usize; k];
+            for &l in &sub.labels {
+                sizes[l] += 1;
+            }
+            let largest = (0..k).max_by_key(|&ci| sizes[ci]).unwrap_or(0);
+            let mut labels = vec![largest; fd.num_clients()];
+            for (&client, &l) in survivors.iter().zip(&sub.labels) {
+                labels[client] = l;
+            }
+            (
+                ClusteringOutcome {
+                    labels,
+                    num_clusters: sub.num_clusters,
+                    lambda: sub.lambda,
+                },
+                representatives,
+            )
+        } else {
+            // Degenerate round 0 (≤1 usable partial): fall back to a single
+            // global cluster so training can still proceed.
+            let rep = partials.into_iter().next().unwrap_or(init_partial);
+            (
+                ClusteringOutcome {
+                    labels: vec![0; fd.num_clients()],
+                    num_clusters: 1,
+                    lambda: 0.0,
+                },
+                vec![rep],
+            )
+        };
+        let k = outcome.num_clusters.max(1);
 
         // ---- Rounds 1..T (Algorithm 1, lines 9–14): per-cluster FedAvg. ----
         let mut states: Vec<Vec<f32>> = vec![init_state.clone(); k];
         let mut history = Vec::new();
         for round in 0..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round + 1);
-            for _ in &sampled {
-                comm.down(state_len);
-                comm.up(state_len);
-            }
-            for ci in 0..k {
+            for (ci, state) in states.iter_mut().enumerate() {
                 let members: Vec<usize> = sampled
                     .iter()
                     .copied()
@@ -131,13 +178,26 @@ impl FedClust {
                 if members.is_empty() {
                     continue;
                 }
-                let updates =
-                    train_sampled(fd, cfg, &template, &states[ci], &members, round + 1, None);
+                let updates = train_round(
+                    fd,
+                    cfg,
+                    &template,
+                    state,
+                    &members,
+                    round + 1,
+                    None,
+                    &mut transport,
+                );
+                if updates.is_empty() {
+                    // Every upload lost or quarantined: the cluster skips
+                    // this round and carries its model forward.
+                    continue;
+                }
                 let items: Vec<(&[f32], f32)> = updates
                     .iter()
                     .map(|u| (u.state.as_slice(), u.weight))
                     .collect();
-                states[ci] = weighted_average(&items);
+                *state = weighted_average(&items);
             }
             if cfg.should_eval(round) {
                 let per_client =
@@ -145,7 +205,7 @@ impl FedClust {
                 history.push(RoundRecord {
                     round: round + 1,
                     avg_acc: average_accuracy(&per_client),
-                    cum_mb: comm.total_mb(),
+                    cum_mb: transport.meter().total_mb(),
                 });
             }
         }
@@ -158,7 +218,8 @@ impl FedClust {
             per_client_acc,
             history,
             num_clusters: Some(k),
-            total_mb: comm.total_mb(),
+            total_mb: transport.meter().total_mb(),
+            faults: transport.telemetry(),
         };
         let federation = TrainedFederation {
             template,

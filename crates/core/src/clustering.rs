@@ -100,15 +100,15 @@ fn plateau_cut(dendro: &Dendrogram) -> ClusteringOutcome {
         // There is a plateau; walk until it breaks.
         let mut plateau: Vec<f32> = vec![merges[0].distance];
         let mut found: Option<(usize, f32)> = None; // (break index, ratio)
-        for i in 1..merges.len() {
+        for (i, merge) in merges.iter().enumerate().skip(1) {
             let mut sorted = plateau.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let median = sorted[sorted.len() / 2].max(0.02 * d_max);
-            if merges[i].distance > PLATEAU_BREAK_FACTOR * median {
-                found = Some((i, merges[i].distance / median));
+            if merge.distance > PLATEAU_BREAK_FACTOR * median {
+                found = Some((i, merge.distance / median));
                 break;
             }
-            plateau.push(merges[i].distance);
+            plateau.push(merge.distance);
         }
         match found {
             Some((i, ratio)) => {
@@ -224,7 +224,12 @@ mod tests {
         let mut prev = usize::MAX;
         for lambda in [0.1f32, 0.6, 1.1, 10.0, 100.0] {
             let out = outcome_from_dendrogram(&dendro, LambdaSelect::Fixed(lambda));
-            assert!(out.num_clusters <= prev, "λ {} gave {}", lambda, out.num_clusters);
+            assert!(
+                out.num_clusters <= prev,
+                "λ {} gave {}",
+                lambda,
+                out.num_clusters
+            );
             prev = out.num_clusters;
         }
     }

@@ -11,8 +11,10 @@ use crate::proximity::{collect_partial_weights, proximity_matrix};
 use fedclust_cluster::hac::agglomerative;
 use fedclust_data::FederatedDataset;
 use fedclust_fl::engine::{
-    average_accuracy, evaluate_clients, init_model, sample_clients, train_sampled, weighted_average,
+    average_accuracy, evaluate_clients, init_model, sample_clients, train_round,
+    weighted_average_or,
 };
+use fedclust_fl::faults::Transport;
 use fedclust_fl::FlConfig;
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +32,12 @@ pub struct LambdaPoint {
 /// Evenly spaced λ values spanning the dendrogram's merge-distance range
 /// (plus a sub-minimum and a super-maximum point so the sweep reaches both
 /// the all-singleton and the single-cluster regimes).
-pub fn lambda_grid(fd: &FederatedDataset, cfg: &FlConfig, method: &FedClust, points: usize) -> Vec<f32> {
+pub fn lambda_grid(
+    fd: &FederatedDataset,
+    cfg: &FlConfig,
+    method: &FedClust,
+    points: usize,
+) -> Vec<f32> {
     let template = init_model(fd, cfg);
     let init_state = template.state_vec();
     let partials = collect_partial_weights(
@@ -59,7 +66,12 @@ pub fn lambda_grid(fd: &FederatedDataset, cfg: &FlConfig, method: &FedClust, poi
 }
 
 /// Run the sweep: cluster once, then train and evaluate each λ cut.
-pub fn sweep(fd: &FederatedDataset, cfg: &FlConfig, method: &FedClust, lambdas: &[f32]) -> Vec<LambdaPoint> {
+pub fn sweep(
+    fd: &FederatedDataset,
+    cfg: &FlConfig,
+    method: &FedClust,
+    lambdas: &[f32],
+) -> Vec<LambdaPoint> {
     let template = init_model(fd, cfg);
     let init_state = template.state_vec();
     let partials = collect_partial_weights(
@@ -79,9 +91,12 @@ pub fn sweep(fd: &FederatedDataset, cfg: &FlConfig, method: &FedClust, lambdas: 
             let outcome = outcome_from_dendrogram(&dendro, LambdaSelect::Fixed(lambda));
             let k = outcome.num_clusters.max(1);
             let mut states = vec![init_state.clone(); k];
+            // Each λ cut trains under the same fault plan; the sweep only
+            // reports accuracies, so the per-cut comm meter is discarded.
+            let mut transport = Transport::new(cfg);
             for round in 0..cfg.rounds {
                 let sampled = sample_clients(fd.num_clients(), cfg, round + 1);
-                for ci in 0..k {
+                for (ci, state) in states.iter_mut().enumerate() {
                     let members: Vec<usize> = sampled
                         .iter()
                         .copied()
@@ -90,13 +105,21 @@ pub fn sweep(fd: &FederatedDataset, cfg: &FlConfig, method: &FedClust, lambdas: 
                     if members.is_empty() {
                         continue;
                     }
-                    let updates =
-                        train_sampled(fd, cfg, &template, &states[ci], &members, round + 1, None);
+                    let updates = train_round(
+                        fd,
+                        cfg,
+                        &template,
+                        state,
+                        &members,
+                        round + 1,
+                        None,
+                        &mut transport,
+                    );
                     let items: Vec<(&[f32], f32)> = updates
                         .iter()
                         .map(|u| (u.state.as_slice(), u.weight))
                         .collect();
-                    states[ci] = weighted_average(&items);
+                    *state = weighted_average_or(&items, state);
                 }
             }
             let per_client =
@@ -117,7 +140,13 @@ mod tests {
 
     fn two_group_fd() -> FederatedDataset {
         let groups: Vec<Vec<usize>> = (0..6)
-            .map(|c| if c < 3 { (0..5).collect() } else { (5..10).collect() })
+            .map(|c| {
+                if c < 3 {
+                    (0..5).collect()
+                } else {
+                    (5..10).collect()
+                }
+            })
             .collect();
         FederatedDataset::build_grouped(
             DatasetProfile::FmnistLike,

@@ -50,6 +50,7 @@ pub fn assign_cluster(
 /// Run Algorithm 2 end-to-end for one newcomer: warm-up from θ⁰, upload
 /// partial weights, receive the argmin cluster's model, personalize for
 /// `personalize_epochs`, and evaluate on the newcomer's local test set.
+#[allow(clippy::too_many_arguments)]
 pub fn incorporate(
     federation: &TrainedFederation,
     newcomer: &ClientData,
@@ -141,7 +142,13 @@ mod tests {
     /// 10 clients in two groups; the last 2 (one per group) join late.
     fn setup() -> (TrainedFederation, Vec<ClientData>, Vec<usize>, FlConfig) {
         let groups: Vec<Vec<usize>> = (0..10)
-            .map(|c| if c % 2 == 0 { (0..5).collect() } else { (5..10).collect() })
+            .map(|c| {
+                if c % 2 == 0 {
+                    (0..5).collect()
+                } else {
+                    (5..10).collect()
+                }
+            })
             .collect();
         let fd = FederatedDataset::build_grouped(
             DatasetProfile::FmnistLike,
@@ -169,7 +176,10 @@ mod tests {
         if federation.outcome.num_clusters != 2 {
             // Clustering of the 8 remaining clients must find the 2 groups
             // for this test to be meaningful.
-            panic!("expected 2 clusters, got {}", federation.outcome.num_clusters);
+            panic!(
+                "expected 2 clusters, got {}",
+                federation.outcome.num_clusters
+            );
         }
         let outcomes = incorporate_all(
             &federation,
@@ -187,8 +197,7 @@ mod tests {
         // via the federation's label of a same-group original client.
         // Original clients alternate groups (even=group0, odd=group1);
         // after split_newcomers the remaining are clients 0..8.
-        let cluster_of_group: Vec<usize> =
-            vec![federation.labels[0], federation.labels[1]];
+        let cluster_of_group: Vec<usize> = vec![federation.labels[0], federation.labels[1]];
         for (o, &g) in outcomes.iter().zip(&newcomer_truth) {
             assert_eq!(o.cluster, cluster_of_group[g], "newcomer in wrong cluster");
         }

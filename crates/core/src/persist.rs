@@ -98,7 +98,13 @@ mod tests {
 
     fn trained() -> TrainedFederation {
         let groups: Vec<Vec<usize>> = (0..6)
-            .map(|c| if c < 3 { (0..5).collect() } else { (5..10).collect() })
+            .map(|c| {
+                if c < 3 {
+                    (0..5).collect()
+                } else {
+                    (5..10).collect()
+                }
+            })
             .collect();
         let fd = FederatedDataset::build_grouped(
             DatasetProfile::FmnistLike,
@@ -131,7 +137,9 @@ mod tests {
     fn restored_federation_assigns_newcomers_identically() {
         let federation = trained();
         let saved = SavedFederation::from_federation(&federation);
-        let restored = SavedFederation::from_json(&saved.to_json()).unwrap().restore();
+        let restored = SavedFederation::from_json(&saved.to_json())
+            .unwrap()
+            .restore();
         // Probe with each representative: assignments must match the
         // original federation's.
         for rep in &federation.representatives {

@@ -7,10 +7,10 @@
 //! distribution (the paper's Fig. 1 observation, reproduced by this
 //! crate's `fig1` bench harness).
 
+use fedclust_cluster::ProximityMatrix;
 use fedclust_data::FederatedDataset;
 use fedclust_fl::engine::local_train;
 use fedclust_fl::FlConfig;
-use fedclust_cluster::ProximityMatrix;
 use fedclust_nn::optim::Sgd;
 use fedclust_nn::Model;
 use fedclust_tensor::distance::Metric;
@@ -64,9 +64,34 @@ pub fn collect_partial_weights(
     warmup_epochs: usize,
     selection: WeightSelection,
 ) -> Vec<Vec<f32>> {
-    (0..fd.num_clients())
-        .into_par_iter()
-        .map(|client| {
+    let clients: Vec<usize> = (0..fd.num_clients()).collect();
+    collect_partial_weights_for(
+        fd,
+        cfg,
+        template,
+        init_state,
+        warmup_epochs,
+        selection,
+        &clients,
+    )
+}
+
+/// [`collect_partial_weights`] restricted to an explicit client list — the
+/// fault-tolerant round 0 collects only from the clients the broadcast
+/// actually reached. Results are in `clients` order.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_partial_weights_for(
+    fd: &FederatedDataset,
+    cfg: &FlConfig,
+    template: &Model,
+    init_state: &[f32],
+    warmup_epochs: usize,
+    selection: WeightSelection,
+    clients: &[usize],
+) -> Vec<Vec<f32>> {
+    clients
+        .par_iter()
+        .map(|&client| {
             let mut model = template.clone();
             model.set_state_vec(init_state);
             let mut opt = Sgd::new(cfg.sgd());
@@ -99,7 +124,13 @@ mod tests {
 
     fn two_group_fd(seed: u64) -> FederatedDataset {
         let groups: Vec<Vec<usize>> = (0..6)
-            .map(|c| if c < 3 { (0..5).collect() } else { (5..10).collect() })
+            .map(|c| {
+                if c < 3 {
+                    (0..5).collect()
+                } else {
+                    (5..10).collect()
+                }
+            })
             .collect();
         FederatedDataset::build_grouped(
             DatasetProfile::FmnistLike,

@@ -60,7 +60,8 @@ impl FederatedDataset {
         let params = profile.params();
         let pool = generate_pool(profile, cfg.samples_per_class, cfg.seed);
         let mut rng = derive(cfg.seed, &[streams::PARTITION, profile.stream_id()]);
-        let assignment = partition.assign(&pool.labels, params.num_classes, cfg.num_clients, &mut rng);
+        let assignment =
+            partition.assign(&pool.labels, params.num_classes, cfg.num_clients, &mut rng);
 
         let clients = assignment
             .iter()
@@ -183,9 +184,15 @@ impl FederatedDataset {
 /// Split one client's sample indices into train/test datasets,
 /// stratified per class so the local test set mirrors the local
 /// distribution.
-fn split_client(pool: &Dataset, indices: &[usize], train_fraction: f32, rng: &mut impl Rng) -> ClientData {
+fn split_client(
+    pool: &Dataset,
+    indices: &[usize],
+    train_fraction: f32,
+    rng: &mut impl Rng,
+) -> ClientData {
     // Group by label for a stratified split.
-    let mut by_label: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut by_label: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for &i in indices {
         by_label.entry(pool.labels[i]).or_default().push(i);
     }
@@ -283,7 +290,10 @@ mod tests {
             &small_cfg(),
         );
         assert_eq!(a.clients[3].train.labels, b.clients[3].train.labels);
-        assert_eq!(a.clients[3].train.images.data(), b.clients[3].train.images.data());
+        assert_eq!(
+            a.clients[3].train.images.data(),
+            b.clients[3].train.images.data()
+        );
     }
 
     #[test]

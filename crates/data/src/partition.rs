@@ -35,7 +35,9 @@ impl Partition {
     pub fn tag(&self) -> String {
         match self {
             Partition::Iid => "iid".to_string(),
-            Partition::LabelSkew { fraction } => format!("skew{}", (fraction * 100.0).round() as u32),
+            Partition::LabelSkew { fraction } => {
+                format!("skew{}", (fraction * 100.0).round() as u32)
+            }
             Partition::Dirichlet { alpha } => format!("dir{}", alpha),
         }
     }
@@ -61,9 +63,7 @@ impl Partition {
         }
         let mut assignment = match self {
             Partition::Iid => iid(labels.len(), num_clients, rng),
-            Partition::LabelSkew { fraction } => {
-                label_skew(&by_class, *fraction, num_clients, rng)
-            }
+            Partition::LabelSkew { fraction } => label_skew(&by_class, *fraction, num_clients, rng),
             Partition::Dirichlet { alpha } => dirichlet(&by_class, *alpha, num_clients, rng),
         };
         repair_empty_clients(&mut assignment, rng);
@@ -91,8 +91,7 @@ fn label_skew(
     rng: &mut impl Rng,
 ) -> Vec<Vec<usize>> {
     let num_classes = by_class.len();
-    let labels_per_client = ((fraction * num_classes as f32).ceil() as usize)
-        .clamp(1, num_classes);
+    let labels_per_client = ((fraction * num_classes as f32).ceil() as usize).clamp(1, num_classes);
 
     // Each client picks its label set.
     let mut owners: Vec<Vec<usize>> = vec![Vec::new(); num_classes]; // label -> clients
@@ -242,7 +241,7 @@ mod tests {
 
     /// 10 classes × 100 samples, class-major labels.
     fn labels() -> Vec<usize> {
-        (0..10).flat_map(|c| std::iter::repeat(c).take(100)).collect()
+        (0..10).flat_map(|c| std::iter::repeat_n(c, 100)).collect()
     }
 
     fn assert_is_partition(assignment: &[Vec<usize>], n: usize) {
@@ -303,7 +302,7 @@ mod tests {
         // max class share per client should typically be large.
         let mut dominated = 0;
         for client in &a {
-            let mut counts = vec![0usize; 10];
+            let mut counts = [0usize; 10];
             for &i in client {
                 counts[l[i]] += 1;
             }

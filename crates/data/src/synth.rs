@@ -142,10 +142,7 @@ pub fn generate_pool(profile: DatasetProfile, samples_per_class: usize, root_see
         }
     }
     Dataset::new(
-        Tensor::from_vec(
-            [n, params.channels, params.height, params.width],
-            data,
-        ),
+        Tensor::from_vec([n, params.channels, params.height, params.width], data),
         labels,
     )
 }
@@ -197,7 +194,12 @@ mod tests {
             }
         }
         let (intra_mean, inter_mean) = (intra / n as f32, inter / n as f32);
-        assert!(intra_mean < inter_mean, "intra {} inter {}", intra_mean, inter_mean);
+        assert!(
+            intra_mean < inter_mean,
+            "intra {} inter {}",
+            intra_mean,
+            inter_mean
+        );
     }
 
     #[test]

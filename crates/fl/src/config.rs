@@ -1,5 +1,6 @@
 //! Shared federated-learning experiment configuration.
 
+use crate::faults::FaultPlan;
 use fedclust_nn::models::ModelSpec;
 use fedclust_nn::optim::SgdConfig;
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,10 @@ pub struct FlConfig {
     /// clients are treated as never contacted; at least one sampled client
     /// always survives.
     pub dropout_rate: f32,
+    /// In-round fault model: link loss, stragglers vs. the round deadline,
+    /// and update corruption. [`FaultPlan::none()`] (the default) keeps the
+    /// run byte-identical to a fault-free engine.
+    pub faults: FaultPlan,
 }
 
 impl Default for FlConfig {
@@ -54,6 +59,7 @@ impl Default for FlConfig {
             eval_every: 2,
             seed: 42,
             dropout_rate: 0.0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -78,7 +84,7 @@ impl FlConfig {
     /// round `round` (0-based).
     pub fn should_eval(&self, round: usize) -> bool {
         let every = self.eval_every.max(1);
-        (round + 1) % every == 0 || round + 1 == self.rounds
+        (round + 1).is_multiple_of(every) || round + 1 == self.rounds
     }
 
     /// A tiny configuration for unit/integration tests: MLP model, few
@@ -96,6 +102,7 @@ impl FlConfig {
             eval_every: 1,
             seed,
             dropout_rate: 0.0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -106,8 +113,10 @@ mod tests {
 
     #[test]
     fn clients_per_round_respects_bounds() {
-        let mut cfg = FlConfig::default();
-        cfg.sample_rate = 0.1;
+        let mut cfg = FlConfig {
+            sample_rate: 0.1,
+            ..FlConfig::default()
+        };
         assert_eq!(cfg.clients_per_round(100), 10);
         assert_eq!(cfg.clients_per_round(5), 1);
         cfg.sample_rate = 1.0;
@@ -118,9 +127,11 @@ mod tests {
 
     #[test]
     fn eval_schedule_hits_last_round() {
-        let mut cfg = FlConfig::default();
-        cfg.rounds = 7;
-        cfg.eval_every = 3;
+        let cfg = FlConfig {
+            rounds: 7,
+            eval_every: 3,
+            ..FlConfig::default()
+        };
         let evals: Vec<usize> = (0..7).filter(|&r| cfg.should_eval(r)).collect();
         assert_eq!(evals, vec![2, 5, 6]);
     }

@@ -6,6 +6,7 @@
 //! "FedAvg skeleton" the paper's Algorithm 1 shares with its baselines.
 
 use crate::config::FlConfig;
+use crate::faults::Transport;
 use fedclust_data::{ClientData, FederatedDataset};
 use fedclust_nn::optim::Sgd;
 use fedclust_nn::Model;
@@ -55,6 +56,7 @@ pub fn sample_clients(num_clients: usize, cfg: &FlConfig, round: usize) -> Vec<u
 /// minibatch SGD. Returns the number of optimizer steps taken (FedNova's
 /// τ_i). The minibatch order derives from `(seed, client, round)`, so runs
 /// are reproducible regardless of thread schedule.
+#[allow(clippy::too_many_arguments)]
 pub fn local_train(
     model: &mut Model,
     data: &ClientData,
@@ -132,6 +134,29 @@ pub fn train_sampled(
         .collect()
 }
 
+/// One full faulty round trip for the standard skeleton: broadcast
+/// `start_state` through `transport` (charging every downlink attempt),
+/// train the clients that were actually reached, then push each update
+/// through the uplink + quarantine screen. The returned survivor set may be
+/// empty — aggregate with [`weighted_average_or`] to carry the previous
+/// model forward in that case.
+#[allow(clippy::too_many_arguments)]
+pub fn train_round(
+    fd: &FederatedDataset,
+    cfg: &FlConfig,
+    template: &Model,
+    start_state: &[f32],
+    sampled: &[usize],
+    round: usize,
+    prox_mu: Option<f32>,
+    transport: &mut Transport,
+) -> Vec<ClientUpdate> {
+    let scalars = start_state.len();
+    let reached = transport.broadcast(round, sampled, scalars);
+    let updates = train_sampled(fd, cfg, template, start_state, &reached, round, prox_mu);
+    transport.receive(round, updates, scalars, Some(start_state))
+}
+
 /// Weighted average of equal-length state vectors — Eq. 2's cluster (or
 /// global) model aggregation.
 ///
@@ -151,6 +176,19 @@ pub fn weighted_average(items: &[(&[f32], f32)]) -> Vec<f32> {
         }
     }
     out.into_iter().map(|v| v as f32).collect()
+}
+
+/// [`weighted_average`] with the fault-tolerant fallback: when every update
+/// of a round (or cluster) was lost or quarantined, carry `previous`
+/// forward instead of panicking. The panic in [`weighted_average`] stays
+/// for genuine empty-input bugs at call sites that cannot legitimately see
+/// an empty set.
+pub fn weighted_average_or(items: &[(&[f32], f32)], previous: &[f32]) -> Vec<f32> {
+    if items.is_empty() {
+        previous.to_vec()
+    } else {
+        weighted_average(items)
+    }
 }
 
 /// Evaluate every client's local test accuracy in parallel, with the state
@@ -268,6 +306,43 @@ mod tests {
     #[should_panic(expected = "nothing to average")]
     fn empty_average_panics() {
         let _ = weighted_average(&[]);
+    }
+
+    #[test]
+    fn empty_average_or_carries_previous_forward() {
+        let prev = vec![0.25f32, -1.5, 3.0];
+        assert_eq!(weighted_average_or(&[], &prev), prev);
+        // Non-empty input must still delegate to the real average.
+        let a = vec![0.0f32, 0.0, 0.0];
+        let b = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(
+            weighted_average_or(&[(&a, 1.0), (&b, 1.0)], &prev),
+            weighted_average(&[(&a, 1.0), (&b, 1.0)])
+        );
+    }
+
+    #[test]
+    fn train_round_with_total_uplink_loss_carries_model_forward() {
+        let fd = tiny_fd(6);
+        let mut cfg = FlConfig::tiny(6);
+        cfg.faults.uplink_loss = 1.0;
+        let template = init_model(&fd, &cfg);
+        let s = template.state_vec();
+        let mut transport = crate::faults::Transport::new(&cfg);
+        let kept = train_round(
+            &fd,
+            &cfg,
+            &template,
+            &s,
+            &[0, 1, 2],
+            0,
+            None,
+            &mut transport,
+        );
+        assert!(kept.is_empty(), "total uplink loss must lose every update");
+        let items: Vec<(&[f32], f32)> = kept.iter().map(|u| (&u.state[..], u.weight)).collect();
+        assert_eq!(weighted_average_or(&items, &s), s, "model carried forward");
+        assert!(transport.telemetry().uplink_losses >= 3);
     }
 
     #[test]

@@ -1,0 +1,538 @@
+//! Deterministic fault injection: the transport layer between server and
+//! clients.
+//!
+//! Real deployments of one-shot clustered FL never aggregate from every
+//! client they contacted: links drop, clients straggle past the round
+//! deadline, and uploads arrive corrupted. This module models those faults
+//! *deterministically* — every fault decision derives from
+//! `(seed, round, client)` RNG streams, so a faulty run replays
+//! bit-identically regardless of thread schedule — and centralises the
+//! server's resilience policy (bounded downlink retry, deadline-based
+//! partial aggregation, non-finite/oversized-update quarantine).
+//!
+//! # Communication charging policy
+//!
+//! [`CommMeter`] counts bytes that were put on the wire, not bytes that
+//! were usefully received:
+//!
+//! * every downlink **attempt** (the first transmission and each retry) is
+//!   charged;
+//! * every uplink is charged, **including** uploads that are lost in
+//!   flight, arrive past the round deadline, or are quarantined on
+//!   arrival — the client transmitted them either way;
+//! * a client that is unreachable after all retries does no local work and
+//!   uploads nothing, so only its failed downlink attempts are charged.
+//!
+//! This keeps Table-5-style Mb numbers honest under faults: the reported
+//! cost is what the network actually carried.
+//!
+//! # Liveness guarantee
+//!
+//! Mirroring the pre-round dropout model (`sample_clients` never drops
+//! every client), [`Transport::broadcast`] always delivers to at least one
+//! client per call. Uplinks carry no such guarantee: a round (or a cluster
+//! within a round) can lose every update, and the aggregation call sites
+//! then carry the previous model forward instead of panicking (see
+//! `engine::weighted_average_or`).
+//!
+//! With [`FaultPlan::none()`] the transport is a pass-through: it charges
+//! exactly the bytes the pre-fault code charged, delivers every payload
+//! untouched, and draws no RNG values, so runs are byte-identical to the
+//! fault-free engine.
+
+use crate::comm::CommMeter;
+use crate::config::FlConfig;
+use crate::engine::ClientUpdate;
+use fedclust_tensor::rng::{derive, streams};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-run fault model, derived deterministically from
+/// `(seed, round, client)` streams. All probabilities are in `[0, 1]`;
+/// [`FaultPlan::none()`] (= `Default`) disables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that one downlink transmission attempt to one client
+    /// fails (each retry redraws independently).
+    pub downlink_loss: f32,
+    /// Retransmissions allowed after the first failed downlink attempt
+    /// before the client is written off for the round.
+    pub max_downlink_retries: usize,
+    /// Probability that one client upload is lost in flight.
+    pub uplink_loss: f32,
+    /// Probability that a client straggles this round (finishes late).
+    pub straggler_rate: f32,
+    /// Mean extra latency of a straggler, in round-deadline units
+    /// (exponentially distributed).
+    pub straggler_mean_delay: f32,
+    /// Server-side round deadline. A straggler whose latency exceeds this
+    /// misses the round and its update is dropped. `0` disables the
+    /// deadline (stragglers always make it).
+    pub round_deadline: f32,
+    /// Probability that an upload arrives corrupted: NaN injection, Inf
+    /// injection, or a stale (unchanged) state.
+    pub corruption_rate: f32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            downlink_loss: 0.0,
+            max_downlink_retries: 2,
+            uplink_loss: 0.0,
+            straggler_rate: 0.0,
+            straggler_mean_delay: 1.0,
+            round_deadline: 1.0,
+            corruption_rate: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The fault-free plan: transport becomes a byte-identical pass-through.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault can actually fire under this plan. Stragglers
+    /// only matter when a deadline can cut them off.
+    pub fn is_active(&self) -> bool {
+        self.downlink_loss > 0.0
+            || self.uplink_loss > 0.0
+            || self.corruption_rate > 0.0
+            || (self.straggler_rate > 0.0 && self.round_deadline > 0.0)
+    }
+
+    /// A copy with every probability clamped into `[0, 1]` and the latency
+    /// model made non-negative, so arbitrary (e.g. property-test) plans
+    /// are safe to run.
+    pub fn sanitized(&self) -> Self {
+        let p = |v: f32| {
+            if v.is_finite() {
+                v.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        let nn = |v: f32| if v.is_finite() { v.max(0.0) } else { 0.0 };
+        FaultPlan {
+            downlink_loss: p(self.downlink_loss),
+            max_downlink_retries: self.max_downlink_retries.min(16),
+            uplink_loss: p(self.uplink_loss),
+            straggler_rate: p(self.straggler_rate),
+            straggler_mean_delay: nn(self.straggler_mean_delay),
+            round_deadline: nn(self.round_deadline),
+            corruption_rate: p(self.corruption_rate),
+        }
+    }
+}
+
+/// Counters of everything the fault layer did in one run; part of
+/// [`crate::metrics::RunResult`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultTelemetry {
+    /// Total fault events: unreachable clients, lost uploads, deadline
+    /// misses, and corruptions.
+    pub faults_injected: usize,
+    /// Updates rejected by the server's pre-aggregation screen (non-finite
+    /// values or wrong payload size).
+    pub updates_quarantined: usize,
+    /// Downlink retransmissions (attempts beyond each first attempt).
+    pub retries: usize,
+    /// Clients unreachable after every downlink retry.
+    pub downlink_failures: usize,
+    /// Uploads lost in flight.
+    pub uplink_losses: usize,
+    /// Straggler uploads that missed the round deadline.
+    pub deadline_misses: usize,
+}
+
+/// What happened to one upload in flight.
+enum UplinkFate {
+    /// Arrived intact.
+    Arrived,
+    /// Lost (in flight, or past the deadline).
+    Lost,
+    /// Arrived corrupted; the payload has been mutated in place.
+    Corrupted,
+}
+
+/// The fault-injecting transport between the server's round loop and its
+/// clients. Owns the run's [`CommMeter`] and fault telemetry.
+#[derive(Debug, Clone)]
+pub struct Transport {
+    plan: FaultPlan,
+    seed: u64,
+    active: bool,
+    meter: CommMeter,
+    telemetry: FaultTelemetry,
+}
+
+impl Transport {
+    /// Transport for one run, with the plan and root seed taken from the
+    /// experiment config.
+    pub fn new(cfg: &FlConfig) -> Self {
+        let plan = cfg.faults.sanitized();
+        Transport {
+            active: plan.is_active(),
+            plan,
+            seed: cfg.seed,
+            meter: CommMeter::new(),
+            telemetry: FaultTelemetry::default(),
+        }
+    }
+
+    /// The run's communication meter.
+    pub fn meter(&self) -> &CommMeter {
+        &self.meter
+    }
+
+    /// Mutable meter access, for protocol-specific charges the transport
+    /// does not mediate (e.g. PACFL's pre-federation basis uploads).
+    pub fn meter_mut(&mut self) -> &mut CommMeter {
+        &mut self.meter
+    }
+
+    /// Fault counters so far.
+    pub fn telemetry(&self) -> FaultTelemetry {
+        self.telemetry
+    }
+
+    /// Send `scalars` values down to each of `clients`, retrying each
+    /// failed transmission up to `max_downlink_retries` times. Returns the
+    /// clients that received the payload (always at least one, in input
+    /// order).
+    pub fn broadcast(&mut self, round: usize, clients: &[usize], scalars: usize) -> Vec<usize> {
+        if !self.active || self.plan.downlink_loss <= 0.0 {
+            for _ in clients {
+                self.meter.down(scalars);
+            }
+            return clients.to_vec();
+        }
+        let mut delivered = Vec::with_capacity(clients.len());
+        for &client in clients {
+            let mut rng = derive(
+                self.seed,
+                &[streams::FAULT_DOWNLINK, round as u64, client as u64],
+            );
+            let mut ok = false;
+            for attempt in 0..=self.plan.max_downlink_retries {
+                self.meter.down(scalars);
+                if attempt > 0 {
+                    self.telemetry.retries += 1;
+                }
+                if rng.gen::<f32>() >= self.plan.downlink_loss {
+                    ok = true;
+                    break;
+                }
+            }
+            if ok {
+                delivered.push(client);
+            } else {
+                self.telemetry.downlink_failures += 1;
+                self.telemetry.faults_injected += 1;
+            }
+        }
+        if delivered.is_empty() {
+            // Liveness: the round must reach someone (mirrors the dropout
+            // model's at-least-one-survivor rule). The first client's last
+            // retry is deemed to have succeeded after all; roll back its
+            // failure accounting.
+            self.telemetry.downlink_failures -= 1;
+            self.telemetry.faults_injected -= 1;
+            delivered.push(clients[0]);
+        }
+        delivered
+    }
+
+    /// Decide the in-flight fate of one upload and apply corruption to
+    /// `payload` in place. `stale` is the corruption fallback payload (the
+    /// state the client started from); `None` restricts corruption to
+    /// NaN/Inf injection.
+    fn uplink_fate(
+        &mut self,
+        round: usize,
+        client: usize,
+        payload: &mut [f32],
+        stale: Option<&[f32]>,
+    ) -> UplinkFate {
+        let mut rng = derive(
+            self.seed,
+            &[streams::FAULT_UPLINK, round as u64, client as u64],
+        );
+        // Draw order is fixed (straggler, loss, corruption) so fates are
+        // stable under plan changes that disable individual fault kinds.
+        let straggle: f32 = rng.gen();
+        let latency_u: f32 = rng.gen();
+        let lost: f32 = rng.gen();
+        let corrupt: f32 = rng.gen();
+        if self.plan.straggler_rate > 0.0
+            && self.plan.round_deadline > 0.0
+            && straggle < self.plan.straggler_rate
+        {
+            // Exponential latency with the configured mean.
+            let latency = -self.plan.straggler_mean_delay * (1.0 - latency_u).max(1e-7).ln();
+            if latency > self.plan.round_deadline {
+                self.telemetry.deadline_misses += 1;
+                self.telemetry.faults_injected += 1;
+                return UplinkFate::Lost;
+            }
+        }
+        if lost < self.plan.uplink_loss {
+            self.telemetry.uplink_losses += 1;
+            self.telemetry.faults_injected += 1;
+            return UplinkFate::Lost;
+        }
+        if corrupt < self.plan.corruption_rate {
+            self.corrupt(round, client, payload, stale);
+            self.telemetry.faults_injected += 1;
+            return UplinkFate::Corrupted;
+        }
+        UplinkFate::Arrived
+    }
+
+    /// Mutate `payload` the way a corrupted upload arrives: NaN scatter,
+    /// Inf scatter, or wholesale replacement with the stale start state.
+    fn corrupt(&mut self, round: usize, client: usize, payload: &mut [f32], stale: Option<&[f32]>) {
+        let mut rng = derive(
+            self.seed,
+            &[streams::FAULT_CORRUPT, round as u64, client as u64],
+        );
+        let mode = rng.gen_range(0u32..3);
+        match (mode, stale) {
+            (2, Some(s)) if s.len() == payload.len() => payload.copy_from_slice(s),
+            _ => {
+                let poison = if mode == 1 { f32::INFINITY } else { f32::NAN };
+                // Scatter the poison over ~1 % of the payload (at least one
+                // entry) — a partial bit-rot pattern rather than a blank.
+                let hits = (payload.len() / 100).max(1);
+                for _ in 0..hits {
+                    let i = rng.gen_range(0..payload.len());
+                    payload[i] = poison;
+                }
+            }
+        }
+    }
+
+    /// Upload `payload` (`scalars` values on the wire) from `client`.
+    /// Charges the uplink, may corrupt `payload` in place, and returns
+    /// whether the upload reached the server at all.
+    pub fn uplink(
+        &mut self,
+        round: usize,
+        client: usize,
+        scalars: usize,
+        payload: &mut [f32],
+        stale: Option<&[f32]>,
+    ) -> bool {
+        self.meter.up(scalars);
+        if !self.active {
+            return true;
+        }
+        !matches!(
+            self.uplink_fate(round, client, payload, stale),
+            UplinkFate::Lost
+        )
+    }
+
+    /// Server-side pre-aggregation screen: accept only finite payloads of
+    /// the expected size. Inactive (always accepts, no scan) under
+    /// [`FaultPlan::none()`] so fault-free runs stay byte-identical even
+    /// when training itself diverges.
+    pub fn screen(&mut self, payload: &[f32], expected_len: usize) -> bool {
+        if !self.active {
+            return true;
+        }
+        if payload.len() == expected_len && payload.iter().all(|v| v.is_finite()) {
+            true
+        } else {
+            self.telemetry.updates_quarantined += 1;
+            false
+        }
+    }
+
+    /// The standard skeleton's uplink path: charge, fault, and quarantine
+    /// every [`ClientUpdate`], returning the survivors in input order.
+    /// `stale` is the round's start state (the corruption fallback).
+    pub fn receive(
+        &mut self,
+        round: usize,
+        updates: Vec<ClientUpdate>,
+        scalars: usize,
+        stale: Option<&[f32]>,
+    ) -> Vec<ClientUpdate> {
+        if !self.active {
+            for _ in &updates {
+                self.meter.up(scalars);
+            }
+            return updates;
+        }
+        let expected_len = updates.first().map_or(0, |u| u.state.len());
+        let mut kept = Vec::with_capacity(updates.len());
+        for mut u in updates {
+            if self.uplink(round, u.client, scalars, &mut u.state, stale)
+                && self.screen(&u.state, expected_len)
+            {
+                kept.push(u);
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_with(plan: FaultPlan, seed: u64) -> FlConfig {
+        let mut cfg = FlConfig::tiny(seed);
+        cfg.faults = plan;
+        cfg
+    }
+
+    fn update(client: usize, state: Vec<f32>) -> ClientUpdate {
+        ClientUpdate {
+            client,
+            state,
+            weight: 1.0,
+            steps: 1,
+        }
+    }
+
+    #[test]
+    fn none_plan_is_passthrough() {
+        let mut t = Transport::new(&cfg_with(FaultPlan::none(), 0));
+        let delivered = t.broadcast(3, &[1, 4, 7], 100);
+        assert_eq!(delivered, vec![1, 4, 7]);
+        let updates = vec![update(1, vec![1.0, 2.0]), update(4, vec![3.0, 4.0])];
+        let kept = t.receive(3, updates.clone(), 2, None);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].state, updates[0].state);
+        assert_eq!(t.meter().total_bytes(), (3 * 100 + 2 * 2) as f64 * 4.0);
+        assert_eq!(t.telemetry(), FaultTelemetry::default());
+    }
+
+    #[test]
+    fn total_downlink_loss_still_delivers_to_one_client() {
+        let plan = FaultPlan {
+            downlink_loss: 1.0,
+            max_downlink_retries: 2,
+            ..FaultPlan::none()
+        };
+        let mut t = Transport::new(&cfg_with(plan, 1));
+        let delivered = t.broadcast(0, &[2, 5, 8], 10);
+        assert_eq!(delivered, vec![2], "liveness keeps the first client");
+        // Every client attempted 1 + 2 retries, all charged.
+        assert_eq!(t.meter().total_bytes(), (3 * 3 * 10) as f64 * 4.0);
+        assert_eq!(t.telemetry().retries, 3 * 2);
+        assert_eq!(t.telemetry().downlink_failures, 2);
+    }
+
+    #[test]
+    fn lost_uplinks_are_still_charged() {
+        let plan = FaultPlan {
+            uplink_loss: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut t = Transport::new(&cfg_with(plan, 2));
+        let kept = t.receive(0, vec![update(0, vec![1.0]), update(1, vec![2.0])], 1, None);
+        assert!(kept.is_empty());
+        assert_eq!(t.meter().up_mb() * 1e6, 2.0 * 4.0);
+        assert_eq!(t.telemetry().uplink_losses, 2);
+    }
+
+    #[test]
+    fn corruption_is_caught_by_the_screen() {
+        let plan = FaultPlan {
+            corruption_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut t = Transport::new(&cfg_with(plan, 3));
+        let updates: Vec<ClientUpdate> = (0..8).map(|c| update(c, vec![0.5; 50])).collect();
+        let kept = t.receive(0, updates, 50, None);
+        // stale fallback is None, so every corruption is NaN/Inf: all
+        // corrupted updates must be quarantined.
+        assert!(kept.is_empty());
+        assert_eq!(t.telemetry().updates_quarantined, 8);
+        assert_eq!(t.telemetry().faults_injected, 8);
+    }
+
+    #[test]
+    fn stale_corruption_passes_the_screen() {
+        let plan = FaultPlan {
+            corruption_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let stale = vec![9.0f32; 4];
+        let mut t = Transport::new(&cfg_with(plan, 4));
+        let updates: Vec<ClientUpdate> = (0..24).map(|c| update(c, vec![0.5; 4])).collect();
+        let kept = t.receive(0, updates, 4, Some(&stale));
+        // Mode draw is uniform over {NaN, Inf, stale}: some survivors must
+        // be stale copies, and every survivor must equal the stale state.
+        assert!(!kept.is_empty());
+        assert!(kept.iter().all(|u| u.state == stale));
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed_round_client() {
+        let plan = FaultPlan {
+            downlink_loss: 0.4,
+            uplink_loss: 0.3,
+            corruption_rate: 0.2,
+            straggler_rate: 0.5,
+            round_deadline: 1.0,
+            ..FaultPlan::none()
+        };
+        let run = |seed: u64| {
+            let mut t = Transport::new(&cfg_with(plan, seed));
+            let delivered = t.broadcast(1, &[0, 1, 2, 3, 4, 5], 20);
+            let updates = delivered
+                .iter()
+                .map(|&c| update(c, vec![c as f32; 20]))
+                .collect();
+            let kept: Vec<(usize, Vec<f32>)> = t
+                .receive(1, updates, 20, None)
+                .into_iter()
+                .map(|u| (u.client, u.state))
+                .collect();
+            (delivered, kept, t.telemetry())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seeds diverge (w.h.p.)");
+    }
+
+    #[test]
+    fn straggler_past_deadline_is_dropped() {
+        let plan = FaultPlan {
+            straggler_rate: 1.0,
+            straggler_mean_delay: 100.0,
+            round_deadline: 0.01,
+            ..FaultPlan::none()
+        };
+        let mut t = Transport::new(&cfg_with(plan, 5));
+        let updates: Vec<ClientUpdate> = (0..6).map(|c| update(c, vec![1.0])).collect();
+        let kept = t.receive(0, updates, 1, None);
+        assert!(kept.is_empty(), "mean delay 100× the deadline drops all");
+        assert_eq!(t.telemetry().deadline_misses, 6);
+    }
+
+    #[test]
+    fn sanitize_clamps_wild_plans() {
+        let wild = FaultPlan {
+            downlink_loss: 7.0,
+            uplink_loss: -2.0,
+            corruption_rate: f32::NAN,
+            straggler_mean_delay: -1.0,
+            round_deadline: f32::INFINITY,
+            max_downlink_retries: 1_000_000,
+            straggler_rate: 0.5,
+        };
+        let s = wild.sanitized();
+        assert_eq!(s.downlink_loss, 1.0);
+        assert_eq!(s.uplink_loss, 0.0);
+        assert_eq!(s.corruption_rate, 0.0);
+        assert_eq!(s.straggler_mean_delay, 0.0);
+        assert_eq!(s.round_deadline, 0.0);
+        assert!(s.max_downlink_retries <= 16);
+    }
+}

@@ -7,6 +7,8 @@
 //!   sampling rate, local epochs, optimiser settings, seed),
 //! * [`comm::CommMeter`] — exact byte accounting of every up/down transfer
 //!   (Tables 4 and 5 are derived from this),
+//! * [`faults`] — deterministic fault injection (stragglers, link loss,
+//!   update corruption) and the server's resilience policy,
 //! * [`metrics`] — round telemetry, run results, rounds/Mb-to-target,
 //! * [`engine`] — the shared round machinery: deterministic client
 //!   sampling, parallel local training, weighted state averaging, and
@@ -20,10 +22,12 @@
 pub mod comm;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod methods;
 pub mod metrics;
 
 pub use comm::CommMeter;
 pub use config::FlConfig;
+pub use faults::{FaultPlan, FaultTelemetry, Transport};
 pub use methods::FlMethod;
 pub use metrics::{RoundRecord, RunResult};

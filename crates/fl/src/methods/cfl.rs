@@ -17,11 +17,11 @@
 //! * only clients with a cached update participate in the split decision —
 //!   never-sampled members follow the sub-cluster of the first split group.
 
-use crate::comm::CommMeter;
 use crate::config::FlConfig;
 use crate::engine::{
-    average_accuracy, evaluate_clients, init_model, sample_clients, train_sampled, weighted_average,
+    average_accuracy, evaluate_clients, init_model, sample_clients, train_round, weighted_average,
 };
+use crate::faults::Transport;
 use crate::methods::FlMethod;
 use crate::metrics::{RoundRecord, RunResult};
 use fedclust_cluster::hac::{cluster_k, Linkage};
@@ -63,7 +63,6 @@ impl FlMethod for Cfl {
 
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
         let template = init_model(fd, cfg);
-        let state_len = template.state_len();
         let num_params = template.num_params();
         let mut clusters = vec![Cluster {
             state: template.state_vec(),
@@ -72,15 +71,11 @@ impl FlMethod for Cfl {
         // Latest parameter-update direction per client (for splits).
         let mut last_update: Vec<Option<Vec<f32>>> = vec![None; fd.num_clients()];
         let mut reference_norm: Option<f64> = None;
-        let mut comm = CommMeter::new();
+        let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
 
         for round in 0..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
-            for _ in &sampled {
-                comm.down(state_len);
-                comm.up(state_len);
-            }
             // Group sampled clients by their cluster.
             let cluster_of: Vec<usize> = client_to_cluster(&clusters, fd.num_clients());
             let mut split_requests: Vec<usize> = Vec::new();
@@ -93,8 +88,21 @@ impl FlMethod for Cfl {
                 if members.is_empty() {
                     continue;
                 }
-                let updates =
-                    train_sampled(fd, cfg, &template, &cluster.state, &members, round, None);
+                let updates = train_round(
+                    fd,
+                    cfg,
+                    &template,
+                    &cluster.state,
+                    &members,
+                    round,
+                    None,
+                    &mut transport,
+                );
+                if updates.is_empty() {
+                    // Every upload lost or quarantined: the cluster skips
+                    // this round and carries its model forward.
+                    continue;
+                }
                 // Cache parameter-space update directions.
                 let mut norms = Vec::with_capacity(updates.len());
                 let mut mean_update = vec![0.0f64; num_params];
@@ -104,7 +112,11 @@ impl FlMethod for Cfl {
                         .zip(&cluster.state[..num_params])
                         .map(|(l, g)| l - g)
                         .collect();
-                    let norm = delta.iter().map(|&d| (d as f64) * (d as f64)).sum::<f64>().sqrt();
+                    let norm = delta
+                        .iter()
+                        .map(|&d| (d as f64) * (d as f64))
+                        .sum::<f64>()
+                        .sqrt();
                     norms.push(norm);
                     for (m, &d) in mean_update.iter_mut().zip(&delta) {
                         *m += d as f64 / updates.len() as f64;
@@ -150,7 +162,7 @@ impl FlMethod for Cfl {
                 history.push(RoundRecord {
                     round: round + 1,
                     avg_acc: average_accuracy(&per_client),
-                    cum_mb: comm.total_mb(),
+                    cum_mb: transport.meter().total_mb(),
                 });
             }
         }
@@ -164,7 +176,8 @@ impl FlMethod for Cfl {
             per_client_acc,
             history,
             num_clusters: Some(clusters.len()),
-            total_mb: comm.total_mb(),
+            total_mb: transport.meter().total_mb(),
+            faults: transport.telemetry(),
         }
     }
 }
@@ -239,6 +252,6 @@ mod tests {
         let r = Cfl::default().run(&fd, &cfg);
         assert!(r.final_acc.is_finite());
         let k = r.num_clusters.unwrap();
-        assert!(k >= 1 && k <= 8, "clusters {}", k);
+        assert!((1..=8).contains(&k), "clusters {}", k);
     }
 }

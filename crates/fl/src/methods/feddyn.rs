@@ -17,9 +17,9 @@
 //! Like SCAFFOLD, FedDyn is part of the extended related-work suite, not
 //! the paper's main tables.
 
-use crate::comm::CommMeter;
 use crate::config::FlConfig;
 use crate::engine::{average_accuracy, evaluate_clients, init_model, sample_clients};
+use crate::faults::Transport;
 use crate::methods::FlMethod;
 use crate::metrics::{RoundRecord, RunResult};
 use fedclust_data::FederatedDataset;
@@ -59,7 +59,10 @@ impl FedDyn {
         state.extend_from_slice(global_extra);
         model.set_state_vec(&state);
         let data = &fd.clients[client];
-        let mut rng = derive(cfg.seed, &[streams::LOCAL_TRAIN, client as u64, round as u64]);
+        let mut rng = derive(
+            cfg.seed,
+            &[streams::LOCAL_TRAIN, client as u64, round as u64],
+        );
         for _ in 0..cfg.local_epochs {
             for batch in data.train.minibatch_indices(cfg.batch_size, &mut rng) {
                 let (x, y) = data.train.batch(&batch);
@@ -99,17 +102,14 @@ impl FlMethod for FedDyn {
         let mut state = template.state_vec();
         let mut h = vec![0.0f32; num_params];
         let mut lambdas: Vec<Vec<f32>> = vec![vec![0.0f32; num_params]; fd.num_clients()];
-        let mut comm = CommMeter::new();
+        let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
 
         for round in 0..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
-            for _ in &sampled {
-                comm.down(state_len);
-                comm.up(state_len);
-            }
+            let delivered = transport.broadcast(round, &sampled, state_len);
             let (params, extra) = state.split_at(num_params);
-            let results: Vec<(usize, Vec<f32>, Vec<f32>, f32)> = sampled
+            let trained: Vec<(usize, Vec<f32>, Vec<f32>, f32)> = delivered
                 .par_iter()
                 .map(|&client| {
                     let (w, ex, weight) = self.local_train(
@@ -126,13 +126,46 @@ impl FlMethod for FedDyn {
                 })
                 .collect();
 
-            // Dual updates and server state.
+            // The dual update uses the client-side w and persists whether
+            // or not the upload makes it; the server aggregates only the
+            // uploads that survive the uplink and the quarantine screen.
+            let mut results: Vec<(usize, Vec<f32>, Vec<f32>, f32)> =
+                Vec::with_capacity(trained.len());
+            for (client, w, ex, weight) in trained {
+                for j in 0..num_params {
+                    lambdas[client][j] -= self.alpha * (w[j] - state[j]);
+                }
+                // The payload has the state-vector layout, so a "stale"
+                // corruption replays the broadcast global state.
+                let mut payload = w;
+                payload.extend_from_slice(&ex);
+                if transport.uplink(round, client, state_len, &mut payload, Some(&state))
+                    && transport.screen(&payload, state_len)
+                {
+                    let ex = payload[num_params..].to_vec();
+                    payload.truncate(num_params);
+                    results.push((client, payload, ex, weight));
+                }
+            }
+            if results.is_empty() {
+                // Nothing arrived: θ, h and the duals carry forward.
+                if cfg.should_eval(round) {
+                    let per_client = evaluate_clients(fd, &template, |_| &state[..]);
+                    history.push(RoundRecord {
+                        round: round + 1,
+                        avg_acc: average_accuracy(&per_client),
+                        cum_mb: transport.meter().total_mb(),
+                    });
+                }
+                continue;
+            }
+
+            // Server state from the surviving uploads.
             let s = results.len() as f64;
             let mut mean_w = vec![0.0f64; num_params];
-            for (client, w, _, _) in &results {
+            for (_, w, _, _) in &results {
                 for j in 0..num_params {
                     mean_w[j] += w[j] as f64 / s;
-                    lambdas[*client][j] -= self.alpha * (w[j] - state[j]);
                 }
             }
             for j in 0..num_params {
@@ -155,7 +188,7 @@ impl FlMethod for FedDyn {
                 history.push(RoundRecord {
                     round: round + 1,
                     avg_acc: average_accuracy(&per_client),
-                    cum_mb: comm.total_mb(),
+                    cum_mb: transport.meter().total_mb(),
                 });
             }
         }
@@ -167,7 +200,8 @@ impl FlMethod for FedDyn {
             per_client_acc,
             history,
             num_clusters: Some(1),
-            total_mb: comm.total_mb(),
+            total_mb: transport.meter().total_mb(),
+            faults: transport.telemetry(),
         }
     }
 }
@@ -198,7 +232,10 @@ mod tests {
         let r = FedDyn::default().run(&fd, &cfg);
         assert!(r.final_acc > 0.15, "acc {}", r.final_acc);
         let fedavg = crate::methods::FedAvg.run(&fd, &cfg);
-        assert!((r.total_mb - fedavg.total_mb).abs() < 1e-9, "FedDyn moves no extra bytes");
+        assert!(
+            (r.total_mb - fedavg.total_mb).abs() < 1e-9,
+            "FedDyn moves no extra bytes"
+        );
     }
 
     #[test]

@@ -4,11 +4,11 @@
 //! and differ only in the local objective (FedProx's proximal term) or the
 //! aggregation rule (FedNova's normalised averaging).
 
-use crate::comm::CommMeter;
 use crate::config::FlConfig;
 use crate::engine::{
-    average_accuracy, evaluate_clients, init_model, sample_clients, train_sampled, weighted_average,
+    average_accuracy, evaluate_clients, init_model, sample_clients, train_round, weighted_average,
 };
+use crate::faults::Transport;
 use crate::methods::FlMethod;
 use crate::metrics::{RoundRecord, RunResult};
 use fedclust_data::FederatedDataset;
@@ -84,20 +84,25 @@ fn run_global(variant: Variant, name: &str, fd: &FederatedDataset, cfg: &FlConfi
     let state_len = template.state_len();
     let num_params = template.num_params();
     let mut global = template.state_vec();
-    let mut comm = CommMeter::new();
+    let mut transport = Transport::new(cfg);
     let mut history = Vec::new();
 
     for round in 0..cfg.rounds {
         let sampled = sample_clients(fd.num_clients(), cfg, round);
-        for _ in &sampled {
-            comm.down(state_len);
-            comm.up(state_len);
-        }
         let prox = match variant {
             Variant::FedProx { mu } => Some(mu),
             _ => None,
         };
-        let updates = train_sampled(fd, cfg, &template, &global, &sampled, round, prox);
+        let updates = train_round(
+            fd,
+            cfg,
+            &template,
+            &global,
+            &sampled,
+            round,
+            prox,
+            &mut transport,
+        );
 
         global = aggregate(variant, &global, &updates, num_params, state_len);
 
@@ -106,7 +111,7 @@ fn run_global(variant: Variant, name: &str, fd: &FederatedDataset, cfg: &FlConfi
             history.push(RoundRecord {
                 round: round + 1,
                 avg_acc: average_accuracy(&per_client),
-                cum_mb: comm.total_mb(),
+                cum_mb: transport.meter().total_mb(),
             });
         }
     }
@@ -118,24 +123,39 @@ fn run_global(variant: Variant, name: &str, fd: &FederatedDataset, cfg: &FlConfi
         per_client_acc,
         history,
         num_clusters: Some(1),
-        total_mb: comm.total_mb(),
+        total_mb: transport.meter().total_mb(),
+        faults: transport.telemetry(),
     }
 }
 
 /// The final global state of a FedAvg-family run (used by the newcomer
 /// experiment, which hands the global model to unseen clients).
-pub fn train_global_model(fd: &FederatedDataset, cfg: &FlConfig, variant: GlobalVariant) -> Vec<f32> {
+pub fn train_global_model(
+    fd: &FederatedDataset,
+    cfg: &FlConfig,
+    variant: GlobalVariant,
+) -> Vec<f32> {
     let template = init_model(fd, cfg);
     let num_params = template.num_params();
     let state_len = template.state_len();
     let mut global = template.state_vec();
+    let mut transport = Transport::new(cfg);
     let prox = match variant {
         Variant::FedProx { mu } => Some(mu),
         _ => None,
     };
     for round in 0..cfg.rounds {
         let sampled = sample_clients(fd.num_clients(), cfg, round);
-        let updates = train_sampled(fd, cfg, &template, &global, &sampled, round, prox);
+        let updates = train_round(
+            fd,
+            cfg,
+            &template,
+            &global,
+            &sampled,
+            round,
+            prox,
+            &mut transport,
+        );
         global = aggregate(variant, &global, &updates, num_params, state_len);
     }
     global
@@ -149,6 +169,10 @@ fn aggregate(
     num_params: usize,
     state_len: usize,
 ) -> Vec<f32> {
+    if updates.is_empty() {
+        // Every update was lost or quarantined: carry the model forward.
+        return global.to_vec();
+    }
     match variant {
         Variant::FedAvg | Variant::FedProx { .. } => {
             let items: Vec<(&[f32], f32)> = updates

@@ -7,9 +7,9 @@
 //! training data, trains it, and uploads the result tagged with the chosen
 //! cluster. The server averages per cluster.
 
-use crate::comm::CommMeter;
 use crate::config::FlConfig;
 use crate::engine::{average_accuracy, init_model, local_train, sample_clients, weighted_average};
+use crate::faults::Transport;
 use crate::methods::FlMethod;
 use crate::metrics::{RoundRecord, RunResult};
 use fedclust_data::FederatedDataset;
@@ -59,7 +59,11 @@ impl Ifca {
 impl Ifca {
     /// Run and also return the k trained cluster states, for assigning
     /// unseen clients post-hoc (Table 6).
-    pub fn run_detailed(&self, fd: &FederatedDataset, cfg: &FlConfig) -> (RunResult, Vec<Vec<f32>>) {
+    pub fn run_detailed(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+    ) -> (RunResult, Vec<Vec<f32>>) {
         assert!(self.k >= 1, "IFCA needs at least one cluster");
         let template = init_model(fd, cfg);
         let state_len = template.state_len();
@@ -72,16 +76,14 @@ impl Ifca {
                     .state_vec()
             })
             .collect();
-        let mut comm = CommMeter::new();
+        let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
 
         for round in 0..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
-            for _ in &sampled {
-                comm.down(self.k * state_len); // all k models go down
-                comm.up(state_len);
-            }
-            let updates: Vec<(usize, Vec<f32>, f32)> = sampled
+            // All k models go down in one bundle per client.
+            let delivered = transport.broadcast(round, &sampled, self.k * state_len);
+            let trained: Vec<(usize, usize, Vec<f32>, f32)> = delivered
                 .par_iter()
                 .map(|&client| {
                     let data = &fd.clients[client];
@@ -99,17 +101,27 @@ impl Ifca {
                         client,
                         round,
                     );
-                    (ci, model.state_vec(), data.train_samples() as f32)
+                    (client, ci, model.state_vec(), data.train_samples() as f32)
                 })
                 .collect();
-            for ci in 0..self.k {
+            let mut updates: Vec<(usize, Vec<f32>, f32)> = Vec::with_capacity(trained.len());
+            for (client, ci, mut state, w) in trained {
+                // Stale corruption replays the cluster model the client
+                // started from (still unaggregated at upload time).
+                if transport.uplink(round, client, state_len, &mut state, Some(&states[ci]))
+                    && transport.screen(&state, state_len)
+                {
+                    updates.push((ci, state, w));
+                }
+            }
+            for (ci, state) in states.iter_mut().enumerate() {
                 let items: Vec<(&[f32], f32)> = updates
                     .iter()
                     .filter(|(c, _, _)| *c == ci)
                     .map(|(_, s, w)| (s.as_slice(), *w))
                     .collect();
                 if !items.is_empty() {
-                    states[ci] = weighted_average(&items);
+                    *state = weighted_average(&items);
                 }
             }
 
@@ -118,7 +130,7 @@ impl Ifca {
                 history.push(RoundRecord {
                     round: round + 1,
                     avg_acc: average_accuracy(&per_client),
-                    cum_mb: comm.total_mb(),
+                    cum_mb: transport.meter().total_mb(),
                 });
             }
         }
@@ -130,7 +142,8 @@ impl Ifca {
             per_client_acc,
             history,
             num_clusters: Some(self.k),
-            total_mb: comm.total_mb(),
+            total_mb: transport.meter().total_mb(),
+            faults: transport.telemetry(),
         };
         (result, states)
     }

@@ -6,9 +6,11 @@
 //! communicated and averaged — hence its tiny communication cost in the
 //! paper's Table 5.
 
-use crate::comm::CommMeter;
 use crate::config::FlConfig;
-use crate::engine::{average_accuracy, init_model, local_train, sample_clients, weighted_average};
+use crate::engine::{
+    average_accuracy, init_model, local_train, sample_clients, weighted_average_or,
+};
+use crate::faults::Transport;
 use crate::methods::FlMethod;
 use crate::metrics::{RoundRecord, RunResult};
 use fedclust_data::FederatedDataset;
@@ -61,16 +63,15 @@ impl LgFedAvg {
         // All clients start from the same θ⁰ (random init, as the paper
         // configures LG for fairness).
         let mut client_states: Vec<Vec<f32>> = vec![init_state.clone(); fd.num_clients()];
-        let mut comm = CommMeter::new();
+        let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
 
         for round in 0..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
-            for _ in &sampled {
-                comm.down(comm_len);
-                comm.up(comm_len);
-            }
-            let trained: Vec<(usize, Vec<f32>, f32)> = sampled
+            // Only the global tail travels; clients the downlink never
+            // reaches sit the round out entirely.
+            let delivered = transport.broadcast(round, &sampled, comm_len);
+            let trained: Vec<(usize, Vec<f32>, f32)> = delivered
                 .par_iter()
                 .map(|&client| {
                     let mut state = client_states[client].clone();
@@ -95,23 +96,29 @@ impl LgFedAvg {
                     )
                 })
                 .collect();
-            // Clients persist their full new state (local part matters);
-            // the server averages only the global tail.
-            let items: Vec<(&[f32], f32)> = trained
-                .iter()
-                .map(|(_, s, w)| (&s[split..], *w))
-                .collect();
-            global_part = weighted_average(&items);
-            for (client, state, _) in trained {
+            // Clients persist their full new state (local part matters)
+            // even when the upload is lost — losing the uplink does not
+            // undo local training. The server averages only the global
+            // tails that survive the uplink and the quarantine screen.
+            let mut tails: Vec<(Vec<f32>, f32)> = Vec::with_capacity(trained.len());
+            for (client, state, w) in trained {
+                let mut tail = state[split..].to_vec();
+                if transport.uplink(round, client, comm_len, &mut tail, Some(&global_part))
+                    && transport.screen(&tail, comm_len)
+                {
+                    tails.push((tail, w));
+                }
                 client_states[client] = state;
             }
+            let items: Vec<(&[f32], f32)> = tails.iter().map(|(t, w)| (t.as_slice(), *w)).collect();
+            global_part = weighted_average_or(&items, &global_part);
 
             if cfg.should_eval(round) {
                 let per_client = self.evaluate(fd, &template, &client_states, &global_part, split);
                 history.push(RoundRecord {
                     round: round + 1,
                     avg_acc: average_accuracy(&per_client),
-                    cum_mb: comm.total_mb(),
+                    cum_mb: transport.meter().total_mb(),
                 });
             }
         }
@@ -123,7 +130,8 @@ impl LgFedAvg {
             per_client_acc,
             history,
             num_clusters: None,
-            total_mb: comm.total_mb(),
+            total_mb: transport.meter().total_mb(),
+            faults: transport.telemetry(),
         };
         (result, LgArtifacts { global_part, split })
     }

@@ -41,8 +41,7 @@ impl FlMethod for LocalOnly {
         let chunks = 4.min(total_epochs);
         let epochs_per_chunk = total_epochs / chunks;
 
-        let mut per_client_states: Vec<Vec<f32>> =
-            vec![init_state.clone(); fd.num_clients()];
+        let mut per_client_states: Vec<Vec<f32>> = vec![init_state.clone(); fd.num_clients()];
         let mut history = Vec::new();
 
         for chunk in 0..chunks {
@@ -71,9 +70,8 @@ impl FlMethod for LocalOnly {
                     model.state_vec()
                 })
                 .collect();
-            let per_client = crate::engine::evaluate_clients(fd, &template, |c| {
-                per_client_states[c].as_slice()
-            });
+            let per_client =
+                crate::engine::evaluate_clients(fd, &template, |c| per_client_states[c].as_slice());
             history.push(RoundRecord {
                 round: ((chunk + 1) * cfg.rounds) / chunks,
                 avg_acc: average_accuracy(&per_client),
@@ -81,9 +79,8 @@ impl FlMethod for LocalOnly {
             });
         }
 
-        let per_client_acc = crate::engine::evaluate_clients(fd, &template, |c| {
-            per_client_states[c].as_slice()
-        });
+        let per_client_acc =
+            crate::engine::evaluate_clients(fd, &template, |c| per_client_states[c].as_slice());
         RunResult {
             method: self.name().to_string(),
             final_acc: average_accuracy(&per_client_acc),
@@ -91,6 +88,7 @@ impl FlMethod for LocalOnly {
             history,
             num_clusters: Some(fd.num_clients()),
             total_mb: 0.0,
+            faults: crate::faults::FaultTelemetry::default(),
         }
     }
 }

@@ -42,9 +42,9 @@ pub trait FlMethod: Sync {
 pub fn baselines() -> Vec<Box<dyn FlMethod>> {
     vec![
         Box::new(LocalOnly::default()),
-        Box::new(FedAvg::default()),
+        Box::new(FedAvg),
         Box::new(FedProx::default()),
-        Box::new(FedNova::default()),
+        Box::new(FedNova),
         Box::new(LgFedAvg::default()),
         Box::new(PerFedAvg::default()),
         Box::new(Cfl::default()),
@@ -57,8 +57,5 @@ pub fn baselines() -> Vec<Box<dyn FlMethod>> {
 /// not put in its tables: SCAFFOLD (variance reduction via control
 /// variates) and FedDyn (dynamic regularization).
 pub fn extended_baselines() -> Vec<Box<dyn FlMethod>> {
-    vec![
-        Box::new(Scaffold::default()),
-        Box::new(FedDyn::default()),
-    ]
+    vec![Box::new(Scaffold::default()), Box::new(FedDyn::default())]
 }

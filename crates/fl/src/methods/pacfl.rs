@@ -7,11 +7,11 @@
 //! principal angles between subspaces, clusters with hierarchical
 //! clustering, and then trains one FedAvg model per cluster.
 
-use crate::comm::CommMeter;
 use crate::config::FlConfig;
 use crate::engine::{
-    average_accuracy, evaluate_clients, init_model, sample_clients, train_sampled, weighted_average,
+    average_accuracy, evaluate_clients, init_model, sample_clients, train_round, weighted_average,
 };
+use crate::faults::Transport;
 use crate::methods::FlMethod;
 use crate::metrics::{RoundRecord, RunResult};
 use fedclust_cluster::hac::{agglomerative, Linkage};
@@ -89,16 +89,20 @@ pub struct PacflArtifacts {
 
 impl Pacfl {
     /// Run and keep the trained federation artifacts (Table 6).
-    pub fn run_detailed(&self, fd: &FederatedDataset, cfg: &FlConfig) -> (RunResult, PacflArtifacts) {
+    pub fn run_detailed(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+    ) -> (RunResult, PacflArtifacts) {
         let template = init_model(fd, cfg);
-        let state_len = template.state_len();
-        let mut comm = CommMeter::new();
+        let mut transport = Transport::new(cfg);
 
-        // One-shot clustering before federation.
+        // One-shot clustering before federation. The basis exchange is a
+        // reliable pre-federation step (PACFL assumes it), charged directly.
         let bases = self.client_bases(fd);
         let feature_dim = fd.channels * fd.height * fd.width;
         for b in &bases {
-            comm.up(b.dims()[1] * feature_dim); // p vectors of d floats
+            transport.meter_mut().up(b.dims()[1] * feature_dim); // p vectors of d floats
         }
         let labels = self.cluster(&bases);
         let k = labels.iter().copied().max().unwrap_or(0) + 1;
@@ -107,11 +111,7 @@ impl Pacfl {
         let mut history = Vec::new();
         for round in 0..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
-            for _ in &sampled {
-                comm.down(state_len);
-                comm.up(state_len);
-            }
-            for ci in 0..k {
+            for (ci, state) in states.iter_mut().enumerate() {
                 let members: Vec<usize> = sampled
                     .iter()
                     .copied()
@@ -120,12 +120,26 @@ impl Pacfl {
                 if members.is_empty() {
                     continue;
                 }
-                let updates = train_sampled(fd, cfg, &template, &states[ci], &members, round, None);
+                let updates = train_round(
+                    fd,
+                    cfg,
+                    &template,
+                    state,
+                    &members,
+                    round,
+                    None,
+                    &mut transport,
+                );
+                if updates.is_empty() {
+                    // Every upload lost or quarantined: the cluster skips
+                    // this round and carries its model forward.
+                    continue;
+                }
                 let items: Vec<(&[f32], f32)> = updates
                     .iter()
                     .map(|u| (u.state.as_slice(), u.weight))
                     .collect();
-                states[ci] = weighted_average(&items);
+                *state = weighted_average(&items);
             }
 
             if cfg.should_eval(round) {
@@ -133,7 +147,7 @@ impl Pacfl {
                 history.push(RoundRecord {
                     round: round + 1,
                     avg_acc: average_accuracy(&per_client),
-                    cum_mb: comm.total_mb(),
+                    cum_mb: transport.meter().total_mb(),
                 });
             }
         }
@@ -145,9 +159,17 @@ impl Pacfl {
             per_client_acc,
             history,
             num_clusters: Some(k),
-            total_mb: comm.total_mb(),
+            total_mb: transport.meter().total_mb(),
+            faults: transport.telemetry(),
         };
-        (result, PacflArtifacts { states, labels, bases })
+        (
+            result,
+            PacflArtifacts {
+                states,
+                labels,
+                bases,
+            },
+        )
     }
 }
 
@@ -184,7 +206,13 @@ mod tests {
     fn subspace_clustering_recovers_two_groups() {
         // Two clean groups: clients 0–3 hold classes {0..5}, 4–7 hold {5..10}.
         let groups: Vec<Vec<usize>> = (0..8)
-            .map(|c| if c < 4 { (0..5).collect() } else { (5..10).collect() })
+            .map(|c| {
+                if c < 4 {
+                    (0..5).collect()
+                } else {
+                    (5..10).collect()
+                }
+            })
             .collect();
         let fd = FederatedDataset::build_grouped(
             DatasetProfile::FmnistLike,
@@ -204,7 +232,13 @@ mod tests {
         // Data subspaces are driven by which classes a client holds, so the
         // recovered clustering should agree with the two-group ground truth.
         let ari = adjusted_rand_index(&labels, &truth);
-        assert!(ari > 0.5, "ARI {} labels {:?} truth {:?}", ari, labels, truth);
+        assert!(
+            ari > 0.5,
+            "ARI {} labels {:?} truth {:?}",
+            ari,
+            labels,
+            truth
+        );
     }
 
     #[test]

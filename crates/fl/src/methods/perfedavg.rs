@@ -8,9 +8,9 @@
 //! personalizes the global model with a few α-steps on its own training
 //! data before testing.
 
-use crate::comm::CommMeter;
 use crate::config::FlConfig;
-use crate::engine::{average_accuracy, init_model, sample_clients, weighted_average};
+use crate::engine::{average_accuracy, init_model, sample_clients, weighted_average_or};
+use crate::faults::Transport;
 use crate::methods::FlMethod;
 use crate::metrics::{RoundRecord, RunResult};
 use fedclust_data::FederatedDataset;
@@ -58,7 +58,10 @@ impl PerFedAvg {
     ) -> Vec<f32> {
         let mut model = template.clone();
         model.set_state_vec(start_state);
-        let mut rng = derive(cfg.seed, &[streams::LOCAL_TRAIN, client as u64, round as u64]);
+        let mut rng = derive(
+            cfg.seed,
+            &[streams::LOCAL_TRAIN, client as u64, round as u64],
+        );
         for _ in 0..cfg.local_epochs {
             let batches = data.train.minibatch_indices(cfg.batch_size, &mut rng);
             for pair in batches.chunks(2) {
@@ -144,16 +147,13 @@ impl PerFedAvg {
         let template = init_model(fd, cfg);
         let state_len = template.state_len();
         let mut global = template.state_vec();
-        let mut comm = CommMeter::new();
+        let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
 
         for round in 0..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
-            for _ in &sampled {
-                comm.down(state_len);
-                comm.up(state_len);
-            }
-            let updates: Vec<(Vec<f32>, f32)> = sampled
+            let delivered = transport.broadcast(round, &sampled, state_len);
+            let trained: Vec<(usize, Vec<f32>, f32)> = delivered
                 .par_iter()
                 .map(|&client| {
                     let state = self.local_meta_train(
@@ -164,19 +164,27 @@ impl PerFedAvg {
                         client,
                         round,
                     );
-                    (state, fd.clients[client].train_samples() as f32)
+                    (client, state, fd.clients[client].train_samples() as f32)
                 })
                 .collect();
+            let mut updates: Vec<(Vec<f32>, f32)> = Vec::with_capacity(trained.len());
+            for (client, mut state, w) in trained {
+                if transport.uplink(round, client, state_len, &mut state, Some(&global))
+                    && transport.screen(&state, state_len)
+                {
+                    updates.push((state, w));
+                }
+            }
             let items: Vec<(&[f32], f32)> =
                 updates.iter().map(|(s, w)| (s.as_slice(), *w)).collect();
-            global = weighted_average(&items);
+            global = weighted_average_or(&items, &global);
 
             if cfg.should_eval(round) {
                 let per_client = self.evaluate_personalized(fd, &template, &global, cfg);
                 history.push(RoundRecord {
                     round: round + 1,
                     avg_acc: average_accuracy(&per_client),
-                    cum_mb: comm.total_mb(),
+                    cum_mb: transport.meter().total_mb(),
                 });
             }
         }
@@ -188,7 +196,8 @@ impl PerFedAvg {
             per_client_acc,
             history,
             num_clusters: None,
-            total_mb: comm.total_mb(),
+            total_mb: transport.meter().total_mb(),
+            faults: transport.telemetry(),
         };
         (result, global)
     }

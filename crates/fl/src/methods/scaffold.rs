@@ -11,9 +11,9 @@
 //! SCAFFOLD is not in the paper's main tables, but it is implemented here
 //! as part of the related-work baseline suite (see `methods::extended`).
 
-use crate::comm::CommMeter;
 use crate::config::FlConfig;
 use crate::engine::{average_accuracy, evaluate_clients, init_model, sample_clients};
+use crate::faults::Transport;
 use crate::methods::FlMethod;
 use crate::metrics::{RoundRecord, RunResult};
 use fedclust_data::FederatedDataset;
@@ -66,7 +66,10 @@ impl Scaffold {
         model.set_state_vec(&state);
 
         let data = &fd.clients[client];
-        let mut rng = derive(cfg.seed, &[streams::LOCAL_TRAIN, client as u64, round as u64]);
+        let mut rng = derive(
+            cfg.seed,
+            &[streams::LOCAL_TRAIN, client as u64, round as u64],
+        );
         let mut steps = 0usize;
         for _ in 0..cfg.local_epochs {
             for batch in data.train.minibatch_indices(cfg.batch_size, &mut rng) {
@@ -121,19 +124,17 @@ impl FlMethod for Scaffold {
         let mut state = template.state_vec();
         let mut c_global = vec![0.0f32; num_params];
         let mut c_clients: Vec<Vec<f32>> = vec![vec![0.0f32; num_params]; fd.num_clients()];
-        let mut comm = CommMeter::new();
+        let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
+        // Down: model state + global control variate.
+        // Up: Δw (+ extra state) + Δc, concatenated into one payload.
+        let wire_len = state_len + num_params;
 
         for round in 0..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
-            for _ in &sampled {
-                // Down: model state + global control variate.
-                comm.down(state_len + num_params);
-                // Up: Δw (+ extra state) + Δc.
-                comm.up(state_len + num_params);
-            }
+            let delivered = transport.broadcast(round, &sampled, wire_len);
             let (params, extra) = state.split_at(num_params);
-            let outcomes: Vec<LocalOutcome> = sampled
+            let trained: Vec<LocalOutcome> = delivered
                 .par_iter()
                 .map(|&client| {
                     self.local_train(
@@ -149,6 +150,39 @@ impl FlMethod for Scaffold {
                     )
                 })
                 .collect();
+
+            // The client-side control variate refresh persists whether or
+            // not the upload makes it; the server only sees survivors.
+            let mut outcomes: Vec<LocalOutcome> = Vec::with_capacity(trained.len());
+            for mut o in trained {
+                c_clients[o.client] = o.new_ci.clone();
+                let mut payload = o.delta_w.clone();
+                payload.extend_from_slice(&o.extra_state);
+                payload.extend_from_slice(&o.delta_c);
+                // Deltas have no meaningful stale fallback: corruption is
+                // NaN/Inf and therefore always quarantined.
+                if transport.uplink(round, o.client, wire_len, &mut payload, None)
+                    && transport.screen(&payload, wire_len)
+                {
+                    o.delta_w.copy_from_slice(&payload[..num_params]);
+                    o.extra_state
+                        .copy_from_slice(&payload[num_params..state_len]);
+                    o.delta_c.copy_from_slice(&payload[state_len..]);
+                    outcomes.push(o);
+                }
+            }
+            if outcomes.is_empty() {
+                // Nothing arrived: the server state carries forward.
+                if cfg.should_eval(round) {
+                    let per_client = evaluate_clients(fd, &template, |_| &state[..]);
+                    history.push(RoundRecord {
+                        round: round + 1,
+                        avg_acc: average_accuracy(&per_client),
+                        cum_mb: transport.meter().total_mb(),
+                    });
+                }
+                continue;
+            }
 
             // Server update: x ← x + ηg · mean Δw; c ← c + (|S|/N) mean Δc.
             let s = outcomes.len() as f32;
@@ -174,16 +208,13 @@ impl FlMethod for Scaffold {
                 let extra = crate::engine::weighted_average(&items);
                 state[num_params..].copy_from_slice(&extra);
             }
-            for o in outcomes {
-                c_clients[o.client] = o.new_ci;
-            }
 
             if cfg.should_eval(round) {
                 let per_client = evaluate_clients(fd, &template, |_| &state[..]);
                 history.push(RoundRecord {
                     round: round + 1,
                     avg_acc: average_accuracy(&per_client),
-                    cum_mb: comm.total_mb(),
+                    cum_mb: transport.meter().total_mb(),
                 });
             }
         }
@@ -195,7 +226,8 @@ impl FlMethod for Scaffold {
             per_client_acc,
             history,
             num_clusters: Some(1),
-            total_mb: comm.total_mb(),
+            total_mb: transport.meter().total_mb(),
+            faults: transport.telemetry(),
         }
     }
 }

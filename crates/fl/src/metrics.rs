@@ -1,5 +1,6 @@
 //! Run telemetry and derived evaluation metrics.
 
+use crate::faults::FaultTelemetry;
 use serde::{Deserialize, Serialize};
 
 /// One evaluation point in a run's history.
@@ -28,6 +29,22 @@ pub struct RunResult {
     pub num_clusters: Option<usize>,
     /// Total communication cost of the run (Mb).
     pub total_mb: f64,
+    /// Fault-injection counters (all zero for a fault-free run).
+    pub faults: FaultTelemetry,
+}
+
+impl Default for RunResult {
+    fn default() -> Self {
+        RunResult {
+            method: String::new(),
+            final_acc: 0.0,
+            per_client_acc: Vec::new(),
+            history: Vec::new(),
+            num_clusters: None,
+            total_mb: 0.0,
+            faults: FaultTelemetry::default(),
+        }
+    }
 }
 
 impl RunResult {
@@ -194,6 +211,7 @@ mod tests {
                 .collect(),
             num_clusters: None,
             total_mb: accs.last().map_or(0.0, |l| l.2),
+            ..RunResult::default()
         }
     }
 

@@ -1,8 +1,11 @@
-//! Property-based tests of the FL engine's deterministic machinery.
+//! Property-based tests of the FL engine's deterministic machinery and the
+//! fault-injection layer.
 
-use fedclust_fl::engine::{sample_clients, weighted_average};
+use fedclust_fl::engine::{
+    init_model, sample_clients, train_round, train_sampled, weighted_average, ClientUpdate,
+};
 use fedclust_fl::metrics::{RoundRecord, RunResult};
-use fedclust_fl::FlConfig;
+use fedclust_fl::{FaultPlan, FlConfig, Transport};
 use proptest::prelude::*;
 
 proptest! {
@@ -80,9 +83,141 @@ proptest! {
             history: history.clone(),
             num_clusters: None,
             total_mb: history.last().unwrap().cum_mb,
+            faults: Default::default(),
         };
         let manual = history.iter().find(|r| r.avg_acc >= target);
         prop_assert_eq!(run.rounds_to_target(target), manual.map(|r| r.round));
         prop_assert_eq!(run.mb_to_target(target), manual.map(|r| r.cum_mb));
+    }
+}
+
+/// Arbitrary — possibly out-of-range — fault plans, passed through
+/// [`FaultPlan::sanitized`] exactly as `Transport::new` would.
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        (0.0f32..1.5, 0usize..5, 0.0f32..1.5),
+        (0.0f32..1.0, 0.0f32..3.0, 0.0f32..2.0),
+        0.0f32..1.0,
+    )
+        .prop_map(|((dl, retries, ul), (sr, delay, deadline), cr)| {
+            FaultPlan {
+                downlink_loss: dl,
+                max_downlink_retries: retries,
+                uplink_loss: ul,
+                straggler_rate: sr,
+                straggler_mean_delay: delay,
+                round_deadline: deadline,
+                corruption_rate: cr,
+            }
+            .sanitized()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Liveness: no fault plan — even total downlink loss — may strand a
+    /// round with zero reachable clients.
+    #[test]
+    fn faulty_broadcast_always_reaches_someone(
+        plan in plan_strategy(),
+        seed in 0u64..500,
+        round in 0usize..20,
+        n in 1usize..9,
+    ) {
+        let mut cfg = FlConfig::tiny(seed);
+        cfg.faults = plan;
+        let mut t = Transport::new(&cfg);
+        let clients: Vec<usize> = (0..n).collect();
+        let reached = t.broadcast(round, &clients, 16);
+        prop_assert!(!reached.is_empty(), "broadcast stranded the round: {:?}", plan);
+        prop_assert!(reached.iter().all(|c| clients.contains(c)));
+    }
+
+    /// The quarantine screen removes exactly the non-finite updates and
+    /// counts them, leaving finite updates untouched and in order.
+    #[test]
+    fn quarantine_removes_exactly_the_nonfinite_updates(
+        mask in proptest::collection::vec(0u32..3, 1..8),
+        seed in 0u64..200,
+    ) {
+        // Active plan with clean uplinks: only the screen filters anything.
+        let mut cfg = FlConfig::tiny(seed);
+        cfg.faults = FaultPlan { downlink_loss: 0.5, ..FaultPlan::none() };
+        let mut t = Transport::new(&cfg);
+        let updates: Vec<ClientUpdate> = mask
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let mut state = vec![0.25f32; 6];
+                if m == 1 {
+                    state[i % 6] = f32::NAN;
+                } else if m == 2 {
+                    state[i % 6] = f32::INFINITY;
+                }
+                ClientUpdate { client: i, state, weight: 1.0, steps: 1 }
+            })
+            .collect();
+        let kept = t.receive(0, updates, 6, None);
+        let expect: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let got: Vec<usize> = kept.iter().map(|u| u.client).collect();
+        prop_assert_eq!(got, expect);
+        prop_assert!(kept.iter().all(|u| u.state == vec![0.25f32; 6]));
+        let bad = mask.iter().filter(|&&m| m != 0).count();
+        prop_assert_eq!(t.telemetry().updates_quarantined, bad);
+    }
+}
+
+proptest! {
+    // Each case trains a small federation twice; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// `FaultPlan::none()` is a byte-identical pass-through: the
+    /// transport-mediated round loop reproduces the raw
+    /// `train_sampled` + `weighted_average` state vectors exactly.
+    #[test]
+    fn none_plan_reproduces_fault_free_state_vectors(seed in 0u64..100) {
+        let fd = fedclust_data::FederatedDataset::build(
+            fedclust_data::DatasetProfile::FmnistLike,
+            fedclust_data::Partition::LabelSkew { fraction: 0.5 },
+            &fedclust_data::federated::FederatedConfig {
+                num_clients: 4,
+                samples_per_class: 10,
+                train_fraction: 0.8,
+                seed,
+            },
+        );
+        let mut cfg = FlConfig::tiny(seed);
+        cfg.rounds = 2;
+        let template = init_model(&fd, &cfg);
+
+        let mut manual = template.state_vec();
+        for round in 0..cfg.rounds {
+            let sampled = sample_clients(fd.num_clients(), &cfg, round);
+            let updates = train_sampled(&fd, &cfg, &template, &manual, &sampled, round, None);
+            let items: Vec<(&[f32], f32)> =
+                updates.iter().map(|u| (u.state.as_slice(), u.weight)).collect();
+            manual = weighted_average(&items);
+        }
+
+        let mut transported = template.state_vec();
+        let mut t = Transport::new(&cfg); // cfg.faults is FaultPlan::none()
+        for round in 0..cfg.rounds {
+            let sampled = sample_clients(fd.num_clients(), &cfg, round);
+            let updates = train_round(
+                &fd, &cfg, &template, &transported, &sampled, round, None, &mut t,
+            );
+            let items: Vec<(&[f32], f32)> =
+                updates.iter().map(|u| (u.state.as_slice(), u.weight)).collect();
+            transported = weighted_average(&items);
+        }
+
+        prop_assert_eq!(manual, transported);
+        prop_assert_eq!(t.telemetry(), fedclust_fl::FaultTelemetry::default());
     }
 }

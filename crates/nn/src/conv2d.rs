@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::param::Param;
-use fedclust_tensor::conv::{im2col_batch_into, col2im_batch_into, Conv2dGeom};
+use fedclust_tensor::conv::{col2im_batch_into, im2col_batch_into, Conv2dGeom};
 use fedclust_tensor::init::he_normal;
 use fedclust_tensor::matmul::{gemm_nn, gemm_nt, gemm_tn};
 use fedclust_tensor::Tensor;
@@ -130,8 +130,7 @@ impl Layer for Conv2d {
             let src = &self.stage[c * n..(c + 1) * n];
             let bv = bias[c];
             for b in 0..batch {
-                let dst = &mut out
-                    [b * self.out_channels * ocols + c * ocols..][..ocols];
+                let dst = &mut out[b * self.out_channels * ocols + c * ocols..][..ocols];
                 for (d, &s) in dst.iter_mut().zip(&src[b * ocols..(b + 1) * ocols]) {
                     *d = s + bv;
                 }
@@ -279,7 +278,10 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
         let mut conv = Conv2d::new(geom(1, 3, 3, 3), 2, &mut rng);
         conv.params_mut()[0].value.fill_zero();
-        conv.params_mut()[1].value.data_mut().copy_from_slice(&[2.5, -1.5]);
+        conv.params_mut()[1]
+            .value
+            .data_mut()
+            .copy_from_slice(&[2.5, -1.5]);
         let y = conv.forward(Tensor::zeros([1, 1, 3, 3]), false);
         assert_eq!(y.data(), &[2.5, -1.5]);
     }
@@ -311,10 +313,7 @@ mod tests {
             let ocols = g.col_cols();
             let chw = c * h * w;
             for bi in 0..b {
-                let img = Tensor::from_vec(
-                    [c, h, w],
-                    x.data()[bi * chw..(bi + 1) * chw].to_vec(),
-                );
+                let img = Tensor::from_vec([c, h, w], x.data()[bi * chw..(bi + 1) * chw].to_vec());
                 let yref = matmul(&conv.weight.value, &im2col(&img, &g));
                 for ci in 0..co {
                     let bias = conv.bias.value.data()[ci];
@@ -363,7 +362,11 @@ mod tests {
             conv.backward(y);
         }
         assert_eq!(conv.cols.capacity(), cols_cap, "cols workspace reallocated");
-        assert_eq!(conv.stage.capacity(), stage_cap, "stage workspace reallocated");
+        assert_eq!(
+            conv.stage.capacity(),
+            stage_cap,
+            "stage workspace reallocated"
+        );
 
         let replica = conv.clone();
         assert!(replica.cols.is_empty() && replica.stage.is_empty());
@@ -406,7 +409,11 @@ mod tests {
         let eps = 1e-2f32;
         let loss = |conv: &mut Conv2d, x: &Tensor| {
             let y = conv.forward(x.clone(), false);
-            0.5 * y.data().iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>() as f32
+            0.5 * y
+                .data()
+                .iter()
+                .map(|v| (*v as f64) * (*v as f64))
+                .sum::<f64>() as f32
         };
         // Weight gradient spot checks.
         for &(i, j) in &[(0usize, 0usize), (2, 7), (1, 17)] {

@@ -13,7 +13,11 @@ use fedclust_tensor::Tensor;
 /// Panics if `logits` is not `(batch, classes)`, if `targets.len() != batch`,
 /// or if any target is out of range.
 pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.shape().ndim(), 2, "cross_entropy expects (batch, classes)");
+    assert_eq!(
+        logits.shape().ndim(),
+        2,
+        "cross_entropy expects (batch, classes)"
+    );
     let (b, c) = (logits.dims()[0], logits.dims()[1]);
     assert_eq!(targets.len(), b, "target count must match batch size");
     assert!(b > 0, "empty batch");

@@ -53,7 +53,11 @@ impl Clone for Model {
 impl Model {
     /// Assemble a model from layers. `architecture` is a human-readable tag
     /// (e.g. `"lenet5"`).
-    pub fn new(layers: Vec<Box<dyn Layer>>, num_classes: usize, architecture: impl Into<String>) -> Self {
+    pub fn new(
+        layers: Vec<Box<dyn Layer>>,
+        num_classes: usize,
+        architecture: impl Into<String>,
+    ) -> Self {
         Model {
             layers,
             num_classes,
@@ -101,7 +105,10 @@ impl Model {
 
     /// Mutable parameter views in deterministic (layer, param) order.
     pub fn params_mut(&mut self) -> Vec<&mut crate::param::Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total number of trainable scalars.

@@ -60,7 +60,9 @@ impl ModelSpec {
         rng: &mut impl Rng,
     ) -> Model {
         match self {
-            ModelSpec::Mlp { hidden } => mlp(in_channels * height * width, *hidden, num_classes, rng),
+            ModelSpec::Mlp { hidden } => {
+                mlp(in_channels * height * width, *hidden, num_classes, rng)
+            }
             ModelSpec::LeNet5 => lenet5(in_channels, height, width, num_classes, rng),
             ModelSpec::VggMini => vgg_mini(in_channels, height, width, num_classes, rng),
             ModelSpec::ResNet9 => resnet9(in_channels, height, width, num_classes, rng),
@@ -279,6 +281,11 @@ mod tests {
         // head is much smaller than the full model.
         let m = lenet5(3, 16, 16, 10, &mut rng(10));
         let fl = m.final_layer_vec().len();
-        assert!(fl * 4 < m.num_params(), "final layer {} of {}", fl, m.num_params());
+        assert!(
+            fl * 4 < m.num_params(),
+            "final layer {} of {}",
+            fl,
+            m.num_params()
+        );
     }
 }

@@ -69,6 +69,7 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    #[allow(clippy::needless_range_loop)] // channel index also builds plane offsets
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
         assert_eq!(x.shape().ndim(), 4, "batchnorm expects (batch, C, H, W)");
         let (b, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
@@ -238,7 +239,11 @@ impl Layer for BatchNorm2d {
     }
 
     fn set_extra_state(&mut self, state: &[f32]) {
-        assert_eq!(state.len(), 2 * self.channels, "batchnorm state length mismatch");
+        assert_eq!(
+            state.len(),
+            2 * self.channels,
+            "batchnorm state length mismatch"
+        );
         let (mean, var) = state.split_at(self.channels);
         self.running_mean.copy_from_slice(mean);
         self.running_var.copy_from_slice(var);

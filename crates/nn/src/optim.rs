@@ -191,7 +191,10 @@ mod tests {
         assert!((p.value.data()[0] - 0.9).abs() < 1e-6);
         sgd.clear_prox();
         sgd.step(&mut [&mut p]);
-        assert!((p.value.data()[0] - 0.9).abs() < 1e-6, "no force after clear");
+        assert!(
+            (p.value.data()[0] - 0.9).abs() < 1e-6,
+            "no force after clear"
+        );
     }
 
     #[test]

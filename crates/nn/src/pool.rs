@@ -30,7 +30,13 @@ impl Layer for MaxPool2d {
         let (b, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let k = self.k;
         let (oh, ow) = (h / k, w / k);
-        assert!(oh > 0 && ow > 0, "pool window {} larger than input {}x{}", k, h, w);
+        assert!(
+            oh > 0 && ow > 0,
+            "pool window {} larger than input {}x{}",
+            k,
+            h,
+            w
+        );
         let mut out = vec![0.0f32; b * c * oh * ow];
         let mut argmax = vec![0usize; b * c * oh * ow];
         let data = x.data();
@@ -101,7 +107,11 @@ pub struct GlobalAvgPool2d {
 
 impl Layer for GlobalAvgPool2d {
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        assert_eq!(x.shape().ndim(), 4, "global avgpool expects (batch, C, H, W)");
+        assert_eq!(
+            x.shape().ndim(),
+            4,
+            "global avgpool expects (batch, C, H, W)"
+        );
         let (b, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let inv = 1.0 / (h * w) as f32;
         let mut out = vec![0.0f32; b * c];

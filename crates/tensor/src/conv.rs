@@ -174,7 +174,11 @@ pub fn im2col_batch_into(batch: &[f32], b: usize, geom: &Conv2dGeom, out: &mut [
     let ocols = oh * ow;
     let n = b * ocols;
     assert_eq!(batch.len(), b * chw, "im2col_batch input length mismatch");
-    assert_eq!(out.len(), geom.col_rows() * n, "im2col_batch output length mismatch");
+    assert_eq!(
+        out.len(),
+        geom.col_rows() * n,
+        "im2col_batch output length mismatch"
+    );
     if n == 0 {
         return;
     }
@@ -189,7 +193,11 @@ pub fn im2col_batch_into(batch: &[f32], b: usize, geom: &Conv2dGeom, out: &mut [
         let kw = r % geom.k_w;
         // Output columns whose input x-coordinate is in bounds for this tap:
         // 0 <= ox*stride + kw - pad < w.
-        let ox_lo = if pad > kw { (pad - kw).div_ceil(stride).min(ow) } else { 0 };
+        let ox_lo = if pad > kw {
+            (pad - kw).div_ceil(stride).min(ow)
+        } else {
+            0
+        };
         let ox_hi = if w + pad > kw {
             ((w + pad - kw - 1) / stride + 1).min(ow)
         } else {
@@ -236,7 +244,11 @@ pub fn col2im_batch_into(cols: &[f32], b: usize, geom: &Conv2dGeom, out: &mut [f
     let chw = geom.in_channels * h * w;
     let ocols = oh * ow;
     let n = b * ocols;
-    assert_eq!(cols.len(), geom.col_rows() * n, "col2im_batch input length mismatch");
+    assert_eq!(
+        cols.len(),
+        geom.col_rows() * n,
+        "col2im_batch input length mismatch"
+    );
     assert_eq!(out.len(), b * chw, "col2im_batch output length mismatch");
     if n == 0 {
         return;
@@ -251,7 +263,11 @@ pub fn col2im_batch_into(cols: &[f32], b: usize, geom: &Conv2dGeom, out: &mut [f
             let c = r / khw;
             let kh = (r / geom.k_w) % geom.k_h;
             let kw = r % geom.k_w;
-            let ox_lo = if pad > kw { (pad - kw).div_ceil(stride).min(ow) } else { 0 };
+            let ox_lo = if pad > kw {
+                (pad - kw).div_ceil(stride).min(ow)
+            } else {
+                0
+            };
             let ox_hi = if w + pad > kw {
                 ((w + pad - kw - 1) / stride + 1).min(ow)
             } else {
@@ -413,10 +429,8 @@ mod tests {
             assert_eq!(cols.dims(), &[g.col_rows(), b * ocols]);
             for bi in 0..b {
                 let chw = c * h * w;
-                let img = Tensor::from_vec(
-                    [c, h, w],
-                    batch.data()[bi * chw..(bi + 1) * chw].to_vec(),
-                );
+                let img =
+                    Tensor::from_vec([c, h, w], batch.data()[bi * chw..(bi + 1) * chw].to_vec());
                 let single = im2col(&img, &g);
                 for r in 0..g.col_rows() {
                     for j in 0..ocols {
@@ -502,7 +516,12 @@ mod tests {
                 .zip(col2im_batch(&y, b, &g).data())
                 .map(|(&a, &b)| a * b)
                 .sum();
-            assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {} vs {}", lhs, rhs);
+            assert!(
+                (lhs - rhs).abs() < 1e-3,
+                "adjoint mismatch: {} vs {}",
+                lhs,
+                rhs
+            );
         }
     }
 
@@ -516,17 +535,26 @@ mod tests {
             let g = geom(c, h, w, k, s, p);
             let x = Tensor::from_vec(
                 [c, h, w],
-                (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+                (0..c * h * w)
+                    .map(|_| rng.gen_range(-1.0..1.0f32))
+                    .collect(),
             );
             let rows = g.col_rows();
             let cols_n = g.col_cols();
             let y = Tensor::from_vec(
                 [rows, cols_n],
-                (0..rows * cols_n).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+                (0..rows * cols_n)
+                    .map(|_| rng.gen_range(-1.0..1.0f32))
+                    .collect(),
             );
             let lhs = im2col(&x, &g).dot(&y);
             let rhs = x.dot(&col2im(&y, &g));
-            assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {} vs {}", lhs, rhs);
+            assert!(
+                (lhs - rhs).abs() < 1e-3,
+                "adjoint mismatch: {} vs {}",
+                lhs,
+                rhs
+            );
         }
     }
 }

@@ -44,7 +44,12 @@ pub fn randn(shape: impl Into<crate::Shape>, rng: &mut impl Rng) -> Tensor {
 }
 
 /// Uniform samples in `[lo, hi)` with the given shape.
-pub fn rand_uniform(shape: impl Into<crate::Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+pub fn rand_uniform(
+    shape: impl Into<crate::Shape>,
+    lo: f32,
+    hi: f32,
+    rng: &mut impl Rng,
+) -> Tensor {
     let shape = shape.into();
     let n = shape.numel();
     Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(lo..hi)).collect())
@@ -53,7 +58,12 @@ pub fn rand_uniform(shape: impl Into<crate::Shape>, lo: f32, hi: f32, rng: &mut 
 /// Xavier/Glorot uniform initialisation: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. Suited to tanh/linear layers and used
 /// for classifier heads.
-pub fn xavier_uniform(shape: impl Into<crate::Shape>, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(
+    shape: impl Into<crate::Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     rand_uniform(shape, -a, a, rng)
 }

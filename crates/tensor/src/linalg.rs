@@ -45,6 +45,7 @@ pub fn svd(a: &Tensor) -> Svd {
 /// One-sided Jacobi on a tall (or square) matrix: orthogonalise the columns
 /// of a working copy `W` (initially `A`) by plane rotations accumulated in
 /// `V`; then `σ_j = ‖w_j‖` and `u_j = w_j/σ_j`.
+#[allow(clippy::needless_range_loop)] // index walks two rows in lockstep
 fn svd_tall(a: &Tensor) -> Svd {
     let (m, n) = (a.dims()[0], a.dims()[1]);
     // Column-major working copy for cache-friendly column ops.
@@ -101,8 +102,15 @@ fn svd_tall(a: &Tensor) -> Svd {
 
     // Extract singular values and sort descending.
     let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = w.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
-    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let norms: Vec<f64> = w
+        .iter()
+        .map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&a, &b| {
+        norms[b]
+            .partial_cmp(&norms[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut u = vec![0.0f32; m * n];
     let mut vv = vec![0.0f32; n * n];
@@ -148,11 +156,7 @@ pub fn principal_angles(u1: &Tensor, u2: &Tensor) -> Vec<f32> {
     assert_eq!(u1.dims()[0], u2.dims()[0], "subspace ambient dims differ");
     let m = matmul(&u1.transpose2(), u2);
     let s = svd(&m);
-    let mut angles: Vec<f32> = s
-        .sigma
-        .iter()
-        .map(|&c| c.clamp(-1.0, 1.0).acos())
-        .collect();
+    let mut angles: Vec<f32> = s.sigma.iter().map(|&c| c.clamp(-1.0, 1.0).acos()).collect();
     angles.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     angles
 }
@@ -173,7 +177,10 @@ mod tests {
 
     fn random(m: usize, n: usize, seed: u64) -> Tensor {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-        Tensor::from_vec([m, n], (0..m * n).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+        Tensor::from_vec(
+            [m, n],
+            (0..m * n).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+        )
     }
 
     fn reconstruct(s: &Svd) -> Tensor {

@@ -63,7 +63,11 @@ thread_local! {
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = mat_dims(a);
     let (k2, n) = mat_dims(b);
-    assert_eq!(k, k2, "matmul inner dimension mismatch: {}x{} * {}x{}", m, k, k2, n);
+    assert_eq!(
+        k, k2,
+        "matmul inner dimension mismatch: {}x{} * {}x{}",
+        m, k, k2, n
+    );
     let mut out = vec![0.0f32; m * n];
     gemm_nn(m, k, n, a.data(), b.data(), &mut out);
     Tensor::from_vec([m, n], out)
@@ -96,21 +100,30 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 /// # Panics
 /// Panics if a slice is shorter than its dimensions imply.
 pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-    assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n, "gemm_nn slice too short");
+    assert!(
+        a.len() >= m * k && b.len() >= k * n && out.len() >= m * n,
+        "gemm_nn slice too short"
+    );
     gemm_strided(m, k, n, a, k, 1, b, n, 1, out);
 }
 
 /// `C += A^T * B` where `a` is stored `k×m` row-major (so logical `A` is
 /// `m×k`) and `b` is `k×n` row-major.
 pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-    assert!(a.len() >= k * m && b.len() >= k * n && out.len() >= m * n, "gemm_tn slice too short");
+    assert!(
+        a.len() >= k * m && b.len() >= k * n && out.len() >= m * n,
+        "gemm_tn slice too short"
+    );
     gemm_strided(m, k, n, a, 1, m, b, n, 1, out);
 }
 
 /// `C += A * B^T` where `a` is `m×k` row-major and `b` is stored `n×k`
 /// row-major (so logical `B` is `k×n`).
 pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-    assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n, "gemm_nt slice too short");
+    assert!(
+        a.len() >= m * k && b.len() >= n * k && out.len() >= m * n,
+        "gemm_nt slice too short"
+    );
     gemm_strided(m, k, n, a, k, 1, b, 1, k, out);
 }
 
@@ -129,7 +142,12 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
 }
 
 fn mat_dims(t: &Tensor) -> (usize, usize) {
-    assert_eq!(t.shape().ndim(), 2, "expected a 2-d tensor, got {}", t.shape());
+    assert_eq!(
+        t.shape().ndim(),
+        2,
+        "expected a 2-d tensor, got {}",
+        t.shape()
+    );
     (t.dims()[0], t.dims()[1])
 }
 
@@ -176,8 +194,7 @@ fn microkernel(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
     {
         // The detection macro caches its answer, so this is an atomic load
         // and a predictable branch per tile.
-        if std::arch::is_x86_feature_detected!("avx2")
-            && std::arch::is_x86_feature_detected!("fma")
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
             // SAFETY: required CPU features verified immediately above.
             return unsafe { microkernel_avx2(k, ap, bp) };
@@ -387,8 +404,8 @@ mod tests {
             (17, 9, 33, 4),  // ragged in both m and n
             (70, 40, 90, 5), // multiple MC blocks + ragged edges
             (130, 40, 90, 6),
-            (2, 64, 2, 7),  // deep k, tiny tile
-            (65, 1, 9, 8),  // k = 1
+            (2, 64, 2, 7),      // deep k, tiny tile
+            (65, 1, 9, 8),      // k = 1
             (30, 300, 600, 9),  // spans KC and NC cache blocks
             (10, 257, 513, 10), // ragged cache-block edges
         ] {

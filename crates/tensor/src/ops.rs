@@ -7,7 +7,11 @@ use crate::tensor::Tensor;
 /// # Panics
 /// Panics if `logits` is not 2-dimensional.
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
-    assert_eq!(logits.shape().ndim(), 2, "softmax_rows expects (batch, classes)");
+    assert_eq!(
+        logits.shape().ndim(),
+        2,
+        "softmax_rows expects (batch, classes)"
+    );
     let (b, c) = (logits.dims()[0], logits.dims()[1]);
     let mut out = vec![0.0f32; b * c];
     for i in 0..b {
@@ -30,7 +34,11 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
 
 /// Row-wise numerically stable log-softmax of a `(batch, classes)` matrix.
 pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
-    assert_eq!(logits.shape().ndim(), 2, "log_softmax_rows expects (batch, classes)");
+    assert_eq!(
+        logits.shape().ndim(),
+        2,
+        "log_softmax_rows expects (batch, classes)"
+    );
     let (b, c) = (logits.dims()[0], logits.dims()[1]);
     let mut out = vec![0.0f32; b * c];
     for i in 0..b {

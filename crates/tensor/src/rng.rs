@@ -46,6 +46,12 @@ pub mod streams {
     pub const EVAL: u64 = 6;
     /// Per-round client dropout decisions.
     pub const DROPOUT: u64 = 7;
+    /// Fault injection: downlink transmission attempts.
+    pub const FAULT_DOWNLINK: u64 = 8;
+    /// Fault injection: uplink fate (straggle / loss / corruption draws).
+    pub const FAULT_UPLINK: u64 = 9;
+    /// Fault injection: corruption pattern (mode and poisoned indices).
+    pub const FAULT_CORRUPT: u64 = 10;
 }
 
 #[cfg(test)]

@@ -133,7 +133,11 @@ impl Tensor {
     /// In-place reshape, avoiding the copy of [`Tensor::reshape`].
     pub fn reshape_in_place(&mut self, shape: impl Into<Shape>) {
         let shape = shape.into();
-        assert_eq!(shape.numel(), self.numel(), "reshape element count mismatch");
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape element count mismatch"
+        );
         self.shape = shape;
     }
 
@@ -208,7 +212,11 @@ impl Tensor {
 
     /// Euclidean (Frobenius) norm.
     pub fn norm_l2(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Maximum element; `f32::NEG_INFINITY` for an empty tensor.

@@ -34,6 +34,7 @@ fn main() {
         eval_every: 4,
         seed: 3,
         dropout_rate: 0.0,
+        faults: fedclust_fl::FaultPlan::none(),
     };
     let methods: Vec<Box<dyn FlMethod>> = vec![
         Box::new(FedAvg),

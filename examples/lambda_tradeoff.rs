@@ -38,11 +38,15 @@ fn main() {
         eval_every: 6,
         seed: 9,
         dropout_rate: 0.0,
+        faults: fedclust_fl::FaultPlan::none(),
     };
     let method = FedClust::default();
 
     let lambdas = lambda_grid(&fd, &cfg, &method, 6);
-    println!("sweeping {} λ values on CIFAR-10-like / label skew 20%…\n", lambdas.len());
+    println!(
+        "sweeping {} λ values on CIFAR-10-like / label skew 20%…\n",
+        lambdas.len()
+    );
     let points = sweep(&fd, &cfg, &method, &lambdas);
 
     println!("{:>10} {:>10} {:>10}", "λ", "#clusters", "accuracy");

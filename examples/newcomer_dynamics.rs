@@ -21,7 +21,13 @@ use fedclust_tensor::distance::Metric;
 fn main() {
     // 20 clients in two ground-truth groups (classes 0-4 vs 5-9).
     let groups: Vec<Vec<usize>> = (0..20)
-        .map(|c| if c % 2 == 0 { (0..5).collect() } else { (5..10).collect() })
+        .map(|c| {
+            if c % 2 == 0 {
+                (0..5).collect()
+            } else {
+                (5..10).collect()
+            }
+        })
         .collect();
     let full = FederatedDataset::build_grouped(
         DatasetProfile::FmnistLike,
@@ -49,6 +55,7 @@ fn main() {
         eval_every: 4,
         seed: 5,
         dropout_rate: 0.0,
+        faults: fedclust_fl::FaultPlan::none(),
     };
 
     println!("federating {} clients…", fd.num_clients());
@@ -59,7 +66,10 @@ fn main() {
         result.final_acc * 100.0
     );
 
-    println!("\nincorporating {} newcomers (Algorithm 2)…", newcomers.len());
+    println!(
+        "\nincorporating {} newcomers (Algorithm 2)…",
+        newcomers.len()
+    );
     let outcomes = incorporate_all(
         &federation,
         &newcomers,

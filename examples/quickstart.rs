@@ -43,6 +43,7 @@ fn main() {
         eval_every: 2,
         seed: 7,
         dropout_rate: 0.0,
+        faults: fedclust_fl::FaultPlan::none(),
     };
 
     // 3. Run FedClust (one-shot weight-driven clustering, then per-cluster
@@ -65,6 +66,11 @@ fn main() {
     }
     println!("\naccuracy trajectory (round, FedClust, FedAvg):");
     for (a, b) in fedclust_result.history.iter().zip(&fedavg_result.history) {
-        println!("  round {:>2}: {:>6.2}%  vs  {:>6.2}%", a.round, a.avg_acc * 100.0, b.avg_acc * 100.0);
+        println!(
+            "  round {:>2}: {:>6.2}%  vs  {:>6.2}%",
+            a.round,
+            a.avg_acc * 100.0,
+            b.avg_acc * 100.0
+        );
     }
 }

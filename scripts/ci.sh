@@ -4,11 +4,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release
 
+echo "== lints =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tests =="
 cargo test -q
+
+echo "== fault tolerance =="
+cargo test -q --test fault_tolerance
 
 echo "== quick benchmarks =="
 scripts/bench_quick.sh

@@ -11,14 +11,20 @@ use fedclust_repro::fedclust::proximity::{
 };
 use fedclust_repro::fedclust::FedClust;
 use fedclust_repro::fl::engine::init_model;
-use fedclust_repro::fl::FlMethod;
 use fedclust_repro::fl::FlConfig;
+use fedclust_repro::fl::FlMethod;
 use fedclust_repro::tensor::distance::Metric;
 
 /// 12 clients, two clean groups.
 fn fd(seed: u64) -> (FederatedDataset, Vec<usize>) {
     let groups: Vec<Vec<usize>> = (0..12)
-        .map(|c| if c < 6 { (0..5).collect() } else { (5..10).collect() })
+        .map(|c| {
+            if c < 6 {
+                (0..5).collect()
+            } else {
+                (5..10).collect()
+            }
+        })
         .collect();
     let fd = FederatedDataset::build_grouped(
         DatasetProfile::FmnistLike,

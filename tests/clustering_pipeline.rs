@@ -3,6 +3,7 @@
 //! agreement. This is the paper's §3.3 observation and §4.1 design choice
 //! verified end to end.
 
+use fedclust_repro::cluster::hac::Linkage;
 use fedclust_repro::cluster::metrics::{adjusted_rand_index, normalized_mutual_info};
 use fedclust_repro::data::{DatasetProfile, FederatedDataset};
 use fedclust_repro::fedclust::clustering::{cluster_clients, LambdaSelect};
@@ -11,7 +12,6 @@ use fedclust_repro::fedclust::proximity::{
 };
 use fedclust_repro::fl::engine::init_model;
 use fedclust_repro::fl::FlConfig;
-use fedclust_repro::cluster::hac::Linkage;
 use fedclust_repro::tensor::distance::Metric;
 
 /// 12 clients in three label groups.
@@ -37,7 +37,12 @@ fn three_group_fd(seed: u64) -> (FederatedDataset, Vec<usize>) {
     (fd, truth)
 }
 
-fn ari_for_selection(fd: &FederatedDataset, truth: &[usize], selection: WeightSelection, epochs: usize) -> f64 {
+fn ari_for_selection(
+    fd: &FederatedDataset,
+    truth: &[usize],
+    selection: WeightSelection,
+    epochs: usize,
+) -> f64 {
     let mut cfg = FlConfig::tiny(7);
     cfg.local_epochs = epochs;
     let template = init_model(fd, &cfg);

@@ -1,12 +1,12 @@
 //! Exact communication accounting: each protocol's reported bytes must
 //! match its analytic cost model. Tables 4 and 5 rest on these numbers.
 
-use fedclust_repro::fedclust::FedClust;
-use fedclust_repro::fedclust::proximity::WeightSelection;
 use fedclust_repro::data::{DatasetProfile, FederatedDataset, Partition};
+use fedclust_repro::fedclust::proximity::WeightSelection;
+use fedclust_repro::fedclust::FedClust;
 use fedclust_repro::fl::engine::init_model;
 use fedclust_repro::fl::methods::{FedAvg, Ifca, LgFedAvg, Pacfl};
-use fedclust_repro::fl::{FlConfig, FlMethod};
+use fedclust_repro::fl::{FaultPlan, FlConfig, FlMethod};
 
 fn fd(seed: u64, clients: usize) -> FederatedDataset {
     FederatedDataset::build(
@@ -115,6 +115,62 @@ fn pacfl_upfront_cost_is_p_vectors_per_client() {
         r.total_mb,
         expected
     );
+}
+
+#[test]
+fn failed_downlink_attempts_are_all_charged() {
+    // Total downlink loss with r retries: every sampled client is attempted
+    // 1 + r times (all charged); liveness then resurrects exactly one
+    // client per round, which trains and uploads one state vector.
+    let fd = fd(6, 8);
+    let mut cfg = FlConfig::tiny(6);
+    cfg.rounds = 3;
+    cfg.sample_rate = 0.5; // 4 clients per round
+    let retries = 2usize;
+    cfg.faults = FaultPlan {
+        downlink_loss: 1.0,
+        max_downlink_retries: retries,
+        ..FaultPlan::none()
+    };
+    let state = init_model(&fd, &cfg).state_len() as f64;
+    let r = FedAvg.run(&fd, &cfg);
+    let down = 3.0 * 4.0 * (1 + retries) as f64 * state;
+    let up = 3.0 * 1.0 * state;
+    let expected = (down + up) * BYTES / MB;
+    assert!(
+        (r.total_mb - expected).abs() < 1e-9,
+        "reported {} expected {}",
+        r.total_mb,
+        expected
+    );
+    assert_eq!(r.faults.retries, 3 * 4 * retries);
+    // 3 of the 4 clients stay unreachable each round (one is resurrected).
+    assert_eq!(r.faults.downlink_failures, 3 * 3);
+}
+
+#[test]
+fn lost_uplinks_cost_the_same_as_delivered_ones() {
+    // Total uplink loss: the client transmitted either way, so the bill is
+    // identical to the fault-free run — but nothing aggregates and the
+    // model never moves.
+    let fd = fd(7, 8);
+    let mut cfg = FlConfig::tiny(7);
+    cfg.rounds = 3;
+    cfg.sample_rate = 0.5;
+    let clean = FedAvg.run(&fd, &cfg);
+    cfg.faults = FaultPlan {
+        uplink_loss: 1.0,
+        ..FaultPlan::none()
+    };
+    let lossy = FedAvg.run(&fd, &cfg);
+    assert!(
+        (lossy.total_mb - clean.total_mb).abs() < 1e-9,
+        "lossy {} clean {}",
+        lossy.total_mb,
+        clean.total_mb
+    );
+    assert_eq!(lossy.faults.uplink_losses, 3 * 4);
+    assert_eq!(lossy.faults.faults_injected, 3 * 4);
 }
 
 #[test]

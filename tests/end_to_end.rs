@@ -2,8 +2,8 @@
 //! produces sane, deterministic telemetry; the paper's headline ordering
 //! (clustered > global under label skew) holds on a small instance.
 
-use fedclust_repro::fedclust::FedClust;
 use fedclust_repro::data::{DatasetProfile, FederatedDataset, Partition};
+use fedclust_repro::fedclust::FedClust;
 use fedclust_repro::fl::methods::{baselines, FlMethod};
 use fedclust_repro::fl::FlConfig;
 
@@ -40,8 +40,16 @@ fn all_ten_methods_run_and_report_sane_results() {
         assert_eq!(r.per_client_acc.len(), fd.num_clients(), "{}", r.method);
         assert!(!r.history.is_empty(), "{}: empty history", r.method);
         for w in r.history.windows(2) {
-            assert!(w[0].round < w[1].round, "{}: rounds not ascending", r.method);
-            assert!(w[0].cum_mb <= w[1].cum_mb, "{}: comm not monotone", r.method);
+            assert!(
+                w[0].round < w[1].round,
+                "{}: rounds not ascending",
+                r.method
+            );
+            assert!(
+                w[0].cum_mb <= w[1].cum_mb,
+                "{}: comm not monotone",
+                r.method
+            );
         }
         if r.method == "Local" {
             assert_eq!(r.total_mb, 0.0, "Local must not communicate");
@@ -82,7 +90,13 @@ fn clustered_beats_global_under_strong_skew() {
     // The paper's central claim in miniature: with two clean client groups
     // a clustered method must beat a single global model.
     let groups: Vec<Vec<usize>> = (0..8)
-        .map(|c| if c < 4 { (0..5).collect() } else { (5..10).collect() })
+        .map(|c| {
+            if c < 4 {
+                (0..5).collect()
+            } else {
+                (5..10).collect()
+            }
+        })
         .collect();
     let fd = FederatedDataset::build_grouped(
         DatasetProfile::FmnistLike,

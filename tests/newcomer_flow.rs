@@ -11,9 +11,20 @@ use fedclust_repro::fl::FlConfig;
 use fedclust_repro::tensor::distance::Metric;
 
 /// 12 federating clients + 4 newcomers, two clean groups, alternating.
-fn setup() -> (FederatedDataset, Vec<fedclust_repro::data::ClientData>, Vec<usize>, FlConfig) {
+fn setup() -> (
+    FederatedDataset,
+    Vec<fedclust_repro::data::ClientData>,
+    Vec<usize>,
+    FlConfig,
+) {
     let groups: Vec<Vec<usize>> = (0..16)
-        .map(|c| if c % 2 == 0 { (0..5).collect() } else { (5..10).collect() })
+        .map(|c| {
+            if c % 2 == 0 {
+                (0..5).collect()
+            } else {
+                (5..10).collect()
+            }
+        })
         .collect();
     let full = FederatedDataset::build_grouped(
         DatasetProfile::FmnistLike,
@@ -38,7 +49,10 @@ fn setup() -> (FederatedDataset, Vec<fedclust_repro::data::ClientData>, Vec<usiz
 fn newcomers_match_their_distribution_cluster() {
     let (fd, newcomers, newcomer_truth, cfg) = setup();
     let (_, federation) = FedClust::default().run_detailed(&fd, &cfg);
-    assert_eq!(federation.outcome.num_clusters, 2, "setup requires 2 clusters");
+    assert_eq!(
+        federation.outcome.num_clusters, 2,
+        "setup requires 2 clusters"
+    );
     let outcomes = incorporate_all(
         &federation,
         &newcomers,

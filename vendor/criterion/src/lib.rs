@@ -27,12 +27,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function/param` id.
     pub fn new(function: impl fmt::Display, param: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function, param) }
+        BenchmarkId {
+            id: format!("{}/{}", function, param),
+        }
     }
 
     /// Parameter-only id.
     pub fn from_parameter(param: impl fmt::Display) -> Self {
-        BenchmarkId { id: param.to_string() }
+        BenchmarkId {
+            id: param.to_string(),
+        }
     }
 }
 
@@ -65,7 +69,9 @@ impl<'a> Bencher<'a> {
         // `batch` iterations each.
         let budget = self.cfg.measurement_time.as_secs_f64();
         let samples = self.cfg.sample_size.max(2);
-        let batch = ((budget / samples as f64) / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+        let batch = ((budget / samples as f64) / per_iter.max(1e-9))
+            .ceil()
+            .max(1.0) as u64;
         self.samples.clear();
         for _ in 0..samples {
             let t0 = Instant::now();
@@ -109,14 +115,9 @@ impl Default for Config {
 }
 
 /// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
 pub struct Criterion {
     cfg: Config,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { cfg: Config::default() }
-    }
 }
 
 impl Criterion {
@@ -199,7 +200,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(cfg: &Config, name: &str, f: &mut F) {
             return;
         }
     }
-    let mut b = Bencher { cfg, samples: Vec::new() };
+    let mut b = Bencher {
+        cfg,
+        samples: Vec::new(),
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{:<40} (no samples)", name);
@@ -307,7 +311,10 @@ mod tests {
             measurement_time: Duration::from_millis(20),
             filter: None,
         };
-        let mut b = Bencher { cfg: &cfg, samples: Vec::new() };
+        let mut b = Bencher {
+            cfg: &cfg,
+            samples: Vec::new(),
+        };
         let mut count = 0u64;
         b.iter(|| {
             count += 1;

@@ -240,7 +240,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Arr(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -284,7 +288,11 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 

@@ -17,8 +17,14 @@ enum Fields {
 }
 
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<(String, Fields)> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
 }
 
 /// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
@@ -123,7 +129,10 @@ fn parse_item(input: TokenStream) -> Item {
     i += 1;
     if let Some(TokenTree::Punct(p)) = tokens.get(i) {
         if p.as_char() == '<' {
-            panic!("serde_derive: generic types are not supported offline (derive on `{}`)", name);
+            panic!(
+                "serde_derive: generic types are not supported offline (derive on `{}`)",
+                name
+            );
         }
     }
     match kind.as_str() {
@@ -281,7 +290,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive: generated invalid Serialize impl")
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
 }
 
 /// `#[derive(Deserialize)]`.
@@ -404,5 +414,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive: generated invalid Deserialize impl")
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
 }

@@ -26,7 +26,10 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 
 /// Parse a JSON string into `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -68,11 +71,7 @@ fn write_f64(f: f64, out: &mut String) {
 
 fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
     let (nl, pad, pad_in) = match indent {
-        Some(w) => (
-            "\n",
-            " ".repeat(w * level),
-            " ".repeat(w * (level + 1)),
-        ),
+        Some(w) => ("\n", " ".repeat(w * level), " ".repeat(w * (level + 1))),
         None => ("", String::new(), String::new()),
     };
     match v {
@@ -213,7 +212,10 @@ impl<'a> Parser<'a> {
                             self.i += 4;
                         }
                         other => {
-                            return Err(Error(format!("bad escape {:?}", other.map(|c| *c as char))))
+                            return Err(Error(format!(
+                                "bad escape {:?}",
+                                other.map(|c| *c as char)
+                            )))
                         }
                     }
                     self.i += 1;
@@ -327,7 +329,7 @@ mod tests {
         assert_eq!(to_string(&-3i32).unwrap(), "-3");
         assert_eq!(from_str::<i32>("-3").unwrap(), -3);
         assert_eq!(from_str::<f32>("1.5").unwrap(), 1.5);
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<String>("\"hi\\nthere\"").unwrap(), "hi\nthere");
     }
 
