@@ -145,7 +145,10 @@ impl Dendrogram {
             }
         }
         if best_gap < 1e-6 {
-            let lambda = self.merges.last().unwrap().distance + 1.0;
+            let lambda = self
+                .merges
+                .last()
+                .map_or(f32::INFINITY, |m| m.distance + 1.0);
             return (self.cut_at(lambda), lambda);
         }
         let lambda = 0.5 * (self.merges[best_i].distance + self.merges[best_i + 1].distance);
@@ -171,8 +174,11 @@ impl Dendrogram {
             parent[rb] = new_id;
         }
         // Compact root ids to 0-based cluster labels in first-seen order.
-        let mut label_of_root: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        // A BTreeMap (not HashMap) so the mapping — and with it every cluster
+        // label that reaches aggregation and telemetry — is a pure function
+        // of the merge structure, never of hasher state.
+        let mut label_of_root: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         let mut out = Vec::with_capacity(self.n);
         for item in 0..self.n {
             let root = find(&mut parent, item);
@@ -381,6 +387,42 @@ mod tests {
         let m = ProximityMatrix::from_fn(3, |_, _| 1.0);
         let (labels, _) = agglomerative(&m, Linkage::Single).largest_gap_cut();
         assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn labels_are_canonical_and_permutation_consistent() {
+        // Regression: cluster labeling must be a pure function of the merge
+        // structure — first-seen compaction over a BTreeMap, never hasher
+        // order. Two runs over a shuffled proximity matrix must agree.
+        let pos = [0.0f32, 1.0, 2.0, 100.0, 101.0, 102.0, 50.0, 51.0];
+        let perm = [6usize, 3, 0, 7, 1, 4, 2, 5]; // shuffled client order
+        let shuffled = ProximityMatrix::from_fn(8, |i, j| (pos[perm[i]] - pos[perm[j]]).abs());
+        let a = cluster_k(&shuffled, Linkage::Average, 3);
+        let b = cluster_k(&shuffled, Linkage::Average, 3);
+        assert_eq!(a, b, "two runs over the same shuffled matrix must agree");
+        // Labels are canonical: first-seen order, so label 0 appears first
+        // and each new label is exactly one more than the current max.
+        let mut next = 0usize;
+        for &l in &a {
+            assert!(l <= next, "labels {:?} not first-seen compacted", a);
+            next = next.max(l + 1);
+        }
+        // Partition equivalence with the unshuffled run: co-membership of
+        // any client pair is invariant under the input permutation.
+        let base = cluster_k(
+            &ProximityMatrix::from_fn(8, |i, j| (pos[i] - pos[j]).abs()),
+            Linkage::Average,
+            3,
+        );
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(
+                    base[perm[i]] == base[perm[j]],
+                    a[i] == a[j],
+                    "pair ({i},{j}) co-membership changed under permutation"
+                );
+            }
+        }
     }
 
     #[test]

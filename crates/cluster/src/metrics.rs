@@ -105,6 +105,7 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
     let sum_row: f64 = row.iter().map(|&n| choose2(n)).sum();
     let sum_col: f64 = col.iter().map(|&n| choose2(n)).sum();
     let total = choose2(a.len() as u64);
+    // fedlint::allow(float-eq): exact-zero sentinel — choose2 of small integers is exact in f64; zero means n < 2, not a rounding artifact
     if total == 0.0 {
         return 1.0;
     }
@@ -146,10 +147,12 @@ pub fn normalized_mutual_info(a: &[usize], b: &[usize]) -> f64 {
             .sum()
     };
     let (ha, hb) = (h(&row), h(&col));
+    // fedlint::allow(float-eq): exact-zero sentinel — entropy is exactly 0.0 only for the single-cluster partition (the sum is empty or -1·ln(1))
     if ha == 0.0 && hb == 0.0 {
         return 1.0; // both trivial single-cluster partitions
     }
     let denom = (ha * hb).sqrt();
+    // fedlint::allow(float-eq): exact-zero sentinel — denom is 0.0 only when one entropy above was exactly zero
     if denom == 0.0 {
         return 0.0;
     }

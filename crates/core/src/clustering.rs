@@ -95,14 +95,14 @@ fn plateau_cut(dendro: &Dendrogram) -> ClusteringOutcome {
     if n < 3 || merges.len() < 2 {
         return outcome_from_dendrogram(dendro, LambdaSelect::AutoGap);
     }
-    let d_max = merges.last().unwrap().distance.max(1e-12);
+    let d_max = merges.last().map_or(0.0, |m| m.distance).max(1e-12);
     if merges[0].distance < NO_PLATEAU_FRACTION * d_max {
         // There is a plateau; walk until it breaks.
         let mut plateau: Vec<f32> = vec![merges[0].distance];
         let mut found: Option<(usize, f32)> = None; // (break index, ratio)
         for (i, merge) in merges.iter().enumerate().skip(1) {
             let mut sorted = plateau.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f32::total_cmp);
             let median = sorted[sorted.len() / 2].max(0.02 * d_max);
             if merge.distance > PLATEAU_BREAK_FACTOR * median {
                 found = Some((i, merge.distance / median));
@@ -157,7 +157,7 @@ fn plateau_cut(dendro: &Dendrogram) -> ClusteringOutcome {
             lambda,
         }
     } else {
-        let lambda = merges.last().unwrap().distance + 1.0;
+        let lambda = merges.last().map_or(f32::INFINITY, |m| m.distance + 1.0);
         ClusteringOutcome {
             labels: vec![0; n],
             num_clusters: 1,
@@ -174,6 +174,7 @@ pub fn outcome_from_dendrogram(dendro: &Dendrogram, lambda: LambdaSelect) -> Clu
         LambdaSelect::Fixed(l) => (dendro.cut_at(l), l),
         LambdaSelect::AutoGap => dendro.largest_gap_cut(),
         LambdaSelect::Auto => {
+            // fedlint::allow(no-panic-paths): documented panic — the # Panics section forbids Auto here; reaching this is a caller bug, not a runtime fault
             panic!("LambdaSelect::Auto needs the full HC run; use cluster_clients")
         }
     };

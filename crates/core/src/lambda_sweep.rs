@@ -51,11 +51,10 @@ pub fn lambda_grid(
     let matrix = proximity_matrix(&partials, method.metric);
     let dendro = agglomerative(&matrix, method.linkage);
     let merges = dendro.merges();
-    if merges.is_empty() {
+    let (Some(first), Some(last)) = (merges.first(), merges.last()) else {
         return vec![1.0];
-    }
-    let lo = merges.first().unwrap().distance;
-    let hi = merges.last().unwrap().distance;
+    };
+    let (lo, hi) = (first.distance, last.distance);
     let mut grid = vec![lo * 0.5];
     let steps = points.saturating_sub(2).max(1);
     for i in 0..=steps {

@@ -43,8 +43,7 @@ pub fn assign_cluster(
         .enumerate()
         .map(|(ci, rep)| (ci, metric.eval(newcomer_partial, rep)))
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(ci, _)| ci)
-        .unwrap()
+        .map_or(0, |(ci, _)| ci)
 }
 
 /// Run Algorithm 2 end-to-end for one newcomer: warm-up from θ⁰, upload

@@ -210,7 +210,9 @@ fn split_client(
         test_idx.extend_from_slice(&group[n_train..]);
     }
     if test_idx.is_empty() && train_idx.len() > 1 {
-        test_idx.push(train_idx.pop().unwrap());
+        if let Some(moved) = train_idx.pop() {
+            test_idx.push(moved);
+        }
     }
     ClientData {
         train: pool.subset(&train_idx),

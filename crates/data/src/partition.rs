@@ -216,16 +216,20 @@ fn repair_empty_clients(assignment: &mut [Vec<usize>], _rng: &mut impl Rng) {
         let Some(empty) = assignment.iter().position(|a| a.is_empty()) else {
             return;
         };
-        let richest = assignment
+        let Some(richest) = assignment
             .iter()
             .enumerate()
             .max_by_key(|(_, a)| a.len())
             .map(|(i, _)| i)
-            .unwrap();
+        else {
+            return; // no clients at all (degenerate input)
+        };
         if assignment[richest].len() <= 1 {
             return; // nothing to steal; give up (degenerate input)
         }
-        let sample = assignment[richest].pop().unwrap();
+        let Some(sample) = assignment[richest].pop() else {
+            return;
+        };
         assignment[empty].push(sample);
     }
 }

@@ -125,10 +125,7 @@ impl FlMethod for Cfl {
                 }
                 let mean_norm = mean_update.iter().map(|d| d * d).sum::<f64>().sqrt();
                 let max_norm = norms.iter().cloned().fold(0.0f64, f64::max);
-                if reference_norm.is_none() {
-                    reference_norm = Some(mean_norm.max(1e-12));
-                }
-                let r = reference_norm.unwrap();
+                let r = *reference_norm.get_or_insert(mean_norm.max(1e-12));
 
                 // FedAvg aggregation inside the cluster.
                 let items: Vec<(&[f32], f32)> = updates
@@ -196,32 +193,33 @@ fn client_to_cluster(clusters: &[Cluster], num_clients: usize) -> Vec<usize> {
 /// updates. Members without a cached update follow group 0. Returns the
 /// new (split-off) cluster, or `None` if no usable bi-partition exists.
 fn split_cluster(cluster: &mut Cluster, last_update: &[Option<Vec<f32>>]) -> Option<Cluster> {
-    let with_updates: Vec<usize> = cluster
+    // Pair each member with its cached update up front, so the proximity
+    // closure below indexes proven-present updates instead of unwrapping.
+    let with_updates: Vec<(usize, &Vec<f32>)> = cluster
         .members
         .iter()
-        .copied()
-        .filter(|&c| last_update[c].is_some())
+        .filter_map(|&c| last_update[c].as_ref().map(|u| (c, u)))
         .collect();
     if with_updates.len() < 2 {
         return None;
     }
     let matrix = ProximityMatrix::from_fn(with_updates.len(), |i, j| {
-        cosine(
-            last_update[with_updates[i]].as_ref().unwrap(),
-            last_update[with_updates[j]].as_ref().unwrap(),
-        )
+        cosine(with_updates[i].1, with_updates[j].1)
     });
     let labels = cluster_k(&matrix, Linkage::Complete, 2);
     let group1: Vec<usize> = with_updates
         .iter()
         .zip(&labels)
         .filter(|(_, &l)| l == 1)
-        .map(|(&c, _)| c)
+        .map(|(&(c, _), _)| c)
         .collect();
     if group1.is_empty() || group1.len() == with_updates.len() {
         return None;
     }
-    let group1_set: std::collections::HashSet<usize> = group1.iter().copied().collect();
+    // BTreeSet, not HashSet: `members` retains its original order here, but
+    // keeping hasher-ordered containers out of the aggregation path entirely
+    // is the workspace's deterministic-iteration invariant.
+    let group1_set: std::collections::BTreeSet<usize> = group1.iter().copied().collect();
     cluster.members.retain(|c| !group1_set.contains(c));
     Some(Cluster {
         state: cluster.state.clone(),

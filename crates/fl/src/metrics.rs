@@ -97,7 +97,7 @@ impl Fairness {
         let xs: Vec<f64> = per_client.iter().map(|&a| a as f64).collect();
         let (mean, std) = mean_std(&xs);
         let mut sorted = xs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let k = (sorted.len() / 10).max(1);
         let worst_decile = sorted[..k].iter().sum::<f64>() / k as f64;
         let best_decile = sorted[sorted.len() - k..].iter().sum::<f64>() / k as f64;
@@ -187,7 +187,7 @@ impl SeedAggregate {
         if vals.len() * 2 < self.runs.len() {
             return None;
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(f64::total_cmp);
         Some(vals[vals.len() / 2])
     }
 }

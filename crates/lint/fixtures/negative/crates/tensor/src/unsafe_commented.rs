@@ -1,0 +1,19 @@
+//! Negative fixture: `unsafe` with proper SAFETY justifications, in both
+//! positions fedlint's walk-up must handle (above attributes, and directly
+//! above an inline block).
+
+// SAFETY: callers must verify avx2 support via is_x86_feature_detected!
+// before calling; the body only does bounds-checked slice reads.
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+pub fn caller(x: &[f32]) -> f32 {
+    if x.len() > 1 {
+        // SAFETY: feature support is assumed verified by the caller of this
+        // fixture function; this exercises the walk-up over comment lines.
+        return unsafe { kernel(x) };
+    }
+    0.0
+}

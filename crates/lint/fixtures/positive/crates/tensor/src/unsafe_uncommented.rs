@@ -1,0 +1,11 @@
+//! Positive fixture: `unsafe` without a SAFETY justification.
+
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(x: &[f32]) -> f32 {
+    // unsafe-needs-safety-comment (line 4)
+    x.iter().sum()
+}
+
+pub fn caller(x: &[f32]) -> f32 {
+    unsafe { kernel(x) } // unsafe-needs-safety-comment (line 10)
+}

@@ -1,0 +1,249 @@
+//! `fedlint` — the workspace invariant checker.
+//!
+//! PR 2 made bit-identical replay under fault injection a load-bearing
+//! guarantee; the invariants behind it (deterministic iteration order,
+//! disciplined RNG stream construction, panic-free library code, justified
+//! `unsafe`) previously lived only in review culture. This crate enforces
+//! them mechanically: a from-scratch, comment/string/char-literal-aware
+//! lexer ([`lexer`]) feeds a set of named rules ([`rules`]) over every
+//! `crates/*/src` file, and the driver here renders deterministic, sorted
+//! human and JSON reports. `fedlint --deny` is a CI gate (`scripts/ci.sh`).
+//!
+//! Output determinism is part of the contract: files are walked in sorted
+//! order, findings are sorted by `(file, line, rule, message)`, and the JSON
+//! emitter is hand-rolled with sorted keys — repeated runs are byte-identical.
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One rule violation, anchored to `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (see [`rules::RULE_NAMES`], plus `pragma-syntax`).
+    pub rule: &'static str,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+/// The result of scanning a workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Sorted findings.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings per rule, sorted by rule name.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Scan every `crates/*/src/**/*.rs` under `root` and return the sorted
+/// report. `root` is the workspace root (the directory containing `crates/`).
+pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src_dir = crate_dir.join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in &files {
+            let rel = rel_path(root, file);
+            let is_bin = rel.ends_with("/main.rs") || rel.contains("/src/bin/");
+            let bytes = std::fs::read(file).map_err(|e| format!("read {rel}: {e}"))?;
+            let src = String::from_utf8_lossy(&bytes);
+            let ctx = rules::FileContext {
+                crate_name: &crate_name,
+                rel_path: &rel,
+                is_bin,
+            };
+            findings.extend(rules::scan_source(&ctx, &src));
+            files_scanned += 1;
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Locate the workspace root by walking up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Render the human-readable report (trailing newline included).
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if report.findings.is_empty() {
+        let _ = writeln!(
+            out,
+            "fedlint: clean ({} files scanned)",
+            report.files_scanned
+        );
+    } else {
+        let per_rule: Vec<String> = report
+            .counts()
+            .iter()
+            .map(|(rule, n)| format!("{rule}: {n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "fedlint: {} finding(s) in {} files scanned ({})",
+            report.findings.len(),
+            report.files_scanned,
+            per_rule.join(", ")
+        );
+    }
+    out
+}
+
+/// Render the JSON report. Hand-rolled (no serde dependency) with sorted
+/// keys and sorted findings so output is byte-identical across runs.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"total_findings\": {},", report.findings.len());
+    out.push_str("  \"counts\": {");
+    let counts = report.counts();
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        let sep = if i + 1 < counts.len() { "," } else { "" };
+        let _ = write!(out, "\n    \"{rule}\": {n}{sep}");
+    }
+    out.push_str(if counts.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let sep = if i + 1 < report.findings.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message),
+            sep
+        );
+    }
+    out.push_str(if report.findings.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    out
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = Report {
+            findings: Vec::new(),
+            files_scanned: 3,
+        };
+        assert!(render_human(&r).contains("clean"));
+        let j = render_json(&r);
+        assert!(j.contains("\"total_findings\": 0"));
+        assert!(j.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,82 @@
+//! `fedlint` CLI: scan the workspace, print a deterministic report, gate CI.
+//!
+//! ```text
+//! fedlint [--deny] [--json] [--root <dir>]
+//! ```
+//!
+//! * `--deny` — exit nonzero if any finding (or malformed pragma) remains.
+//! * `--json` — print the JSON report to stdout and also write it to
+//!   `<root>/results/lint_report.json` for trend tracking.
+//! * `--root` — workspace root; defaults to walking up from the current
+//!   directory until `Cargo.toml` + `crates/` are found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("fedlint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: fedlint [--deny] [--json] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("fedlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| lint::find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("fedlint: could not locate a workspace root (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fedlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let rendered = lint::render_json(&report);
+        print!("{rendered}");
+        let results_dir = root.join("results");
+        let target = results_dir.join("lint_report.json");
+        if let Err(e) = std::fs::create_dir_all(&results_dir)
+            .and_then(|()| std::fs::write(&target, rendered.as_bytes()))
+        {
+            eprintln!("fedlint: could not write {}: {e}", target.display());
+            return ExitCode::from(2);
+        }
+    } else {
+        print!("{}", lint::render_human(&report));
+    }
+
+    if deny && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

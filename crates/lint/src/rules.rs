@@ -1,0 +1,516 @@
+//! The `fedlint` rules: each one turns a token stream into findings.
+//!
+//! Every rule protects a named workspace invariant (DESIGN.md §8):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `unsafe-needs-safety-comment` | every `unsafe` is justified in writing |
+//! | `deterministic-iteration` | no hasher-ordered containers on replayed paths |
+//! | `no-panic-paths` | library code of core crates cannot panic |
+//! | `rng-stream-discipline` | RNG streams derive from named `streams::` labels |
+//! | `float-eq` | no exact float equality without an explicit waiver |
+//!
+//! Exemptions are granted per line by a pragma comment:
+//! `// fedlint::allow(<rule>): <reason>` — the reason is mandatory, and the
+//! pragma covers its own line plus the next line (so it can sit directly
+//! above the flagged expression, including inside method chains). A
+//! malformed pragma is itself a finding (`pragma-syntax`) and suppresses
+//! nothing.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::Finding;
+
+/// Rule identifiers, sorted, as accepted by the allow pragma.
+pub const RULE_NAMES: [&str; 5] = [
+    "deterministic-iteration",
+    "float-eq",
+    "no-panic-paths",
+    "rng-stream-discipline",
+    "unsafe-needs-safety-comment",
+];
+
+/// Crates whose library code must be panic-free (`no-panic-paths`).
+const PANIC_FREE_CRATES: [&str; 6] = ["cluster", "core", "data", "fl", "nn", "tensor"];
+/// Crates where iteration order reaches aggregation/clustering/telemetry.
+const DETERMINISTIC_CRATES: [&str; 3] = ["cluster", "core", "fl"];
+/// Crates whose RNGs must derive from named stream constants.
+const RNG_CRATES: [&str; 2] = ["core", "fl"];
+
+/// How far (in lines) the `SAFETY:` search walks up through comments,
+/// attributes, and blank lines before giving up.
+const SAFETY_WALK_LIMIT: u32 = 64;
+
+/// Everything the rules need to know about one source file.
+pub struct FileContext<'a> {
+    /// Crate directory name under `crates/` (`fl`, `tensor`, ...).
+    pub crate_name: &'a str,
+    /// Workspace-relative path with forward slashes, for findings.
+    pub rel_path: &'a str,
+    /// Binary target (`src/main.rs` or under `src/bin/`): exempt from the
+    /// library-code rules.
+    pub is_bin: bool,
+}
+
+/// A `fedlint::allow` pragma, parsed from a comment.
+struct Pragma {
+    line: u32,
+    rule: String,
+    valid: bool,
+}
+
+/// Per-line facts derived from the token stream (indices are 1-based lines).
+struct LineInfo {
+    /// Line carries at least one non-comment token.
+    has_code: Vec<bool>,
+    /// First non-comment token on the line is `#` (attribute line).
+    starts_attr: Vec<bool>,
+    /// Some comment covering this line contains `SAFETY:`.
+    has_safety: Vec<bool>,
+    /// Line is inside a `#[cfg(test)]` item (test module or function).
+    in_test: Vec<bool>,
+}
+
+impl LineInfo {
+    fn get(v: &[bool], line: u32) -> bool {
+        v.get(line as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Run every rule over one file and return its findings (pragma-filtered,
+/// unsorted — the driver sorts globally).
+pub fn scan_source(ctx: &FileContext<'_>, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect();
+    let info = line_info(src, &tokens, &code);
+    let pragmas = collect_pragmas(&tokens);
+
+    let mut findings = Vec::new();
+    rule_unsafe_safety(ctx, &code, &info, &mut findings);
+    rule_deterministic_iteration(ctx, &code, &info, &mut findings);
+    rule_no_panic_paths(ctx, &code, &info, &mut findings);
+    rule_rng_stream_discipline(ctx, &code, &info, &mut findings);
+    rule_float_eq(ctx, &code, &info, &mut findings);
+
+    // Apply pragma suppression: a valid pragma covers its line and the next.
+    findings.retain(|f| {
+        !pragmas
+            .iter()
+            .any(|p| p.valid && p.rule == f.rule && (p.line == f.line || p.line + 1 == f.line))
+    });
+
+    // Malformed pragmas are findings themselves and cannot be suppressed.
+    for p in &pragmas {
+        if !p.valid {
+            findings.push(Finding {
+                file: ctx.rel_path.to_string(),
+                line: p.line,
+                rule: "pragma-syntax",
+                message: format!(
+                    "malformed fedlint pragma (rule `{}`): expected \
+                     `// fedlint::allow(<rule>): <reason>` with a known rule and a non-empty reason",
+                    p.rule
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Build the per-line fact tables.
+fn line_info(src: &str, tokens: &[Token], code: &[&Token]) -> LineInfo {
+    let n_lines = src.lines().count().max(1) + 2;
+    let mut has_code = vec![false; n_lines + 1];
+    let mut starts_attr = vec![false; n_lines + 1];
+    let mut has_safety = vec![false; n_lines + 1];
+    let mut first_code_seen = vec![false; n_lines + 1];
+
+    for t in tokens {
+        let span = t.text.matches('\n').count() as u32;
+        match t.kind {
+            TokKind::Comment => {
+                if t.text.contains("SAFETY:") {
+                    for l in t.line..=t.line.saturating_add(span) {
+                        if let Some(slot) = has_safety.get_mut(l as usize) {
+                            *slot = true;
+                        }
+                    }
+                }
+            }
+            _ => {
+                for l in t.line..=t.line.saturating_add(span) {
+                    if let Some(slot) = has_code.get_mut(l as usize) {
+                        *slot = true;
+                    }
+                }
+                let li = t.line as usize;
+                if li < first_code_seen.len() && !first_code_seen[li] {
+                    first_code_seen[li] = true;
+                    starts_attr[li] = t.kind == TokKind::Op && t.text == "#";
+                }
+            }
+        }
+    }
+
+    let in_test = test_regions(code, n_lines + 1);
+    LineInfo {
+        has_code,
+        starts_attr,
+        has_safety,
+        in_test,
+    }
+}
+
+/// Mark every line inside a `#[cfg(test)]` item's braces (plus the attribute
+/// itself) as test code. Handles `#[cfg(test)] mod tests { ... }` and
+/// `#[cfg(test)]` on any other braced item; an item ended by `;` before any
+/// `{` produces no region.
+fn test_regions(code: &[&Token], n_lines: usize) -> Vec<bool> {
+    let mut in_test = vec![false; n_lines + 1];
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].text == "#" && code.get(i + 1).is_some_and(|t| t.text == "[")) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body for `cfg` + `test`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let (mut saw_cfg, mut saw_test) = (false, false);
+        while j < code.len() && depth > 0 {
+            match code[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "cfg" => saw_cfg = true,
+                "test" => saw_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j.max(i + 1);
+            continue;
+        }
+        let attr_line = code[i].line;
+        // Find the item's opening brace (skipping over further attributes is
+        // implicit: their `[`/`]` don't open braces). A `;` first means a
+        // braceless item — no region.
+        let mut k = j;
+        while k < code.len() && code[k].text != "{" && code[k].text != ";" {
+            k += 1;
+        }
+        if k >= code.len() || code[k].text == ";" {
+            i = k.max(i + 1);
+            continue;
+        }
+        // Match braces to the item's end.
+        let mut brace = 0usize;
+        let mut end_line = code[k].line;
+        let mut m = k;
+        while m < code.len() {
+            match code[m].text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end_line = code[m].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end_line = code[m].line;
+            m += 1;
+        }
+        for l in attr_line..=end_line {
+            if let Some(slot) = in_test.get_mut(l as usize) {
+                *slot = true;
+            }
+        }
+        i = m.max(i + 1);
+    }
+    in_test
+}
+
+/// Parse allow pragmas out of comments. Only comments that *begin* with the
+/// pragma (after the comment markers) count — prose that merely mentions the
+/// grammar, like this crate's own docs, is not a pragma attempt.
+fn collect_pragmas(tokens: &[Token]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let body = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("fedlint::allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Pragma {
+                line: t.line,
+                rule: String::new(),
+                valid: false,
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reason_ok = after
+            .strip_prefix(':')
+            .map(|r| {
+                let r = r.trim_end_matches("*/").trim();
+                !r.is_empty()
+            })
+            .unwrap_or(false);
+        let known = RULE_NAMES.contains(&rule.as_str());
+        out.push(Pragma {
+            line: t.line,
+            valid: known && reason_ok,
+            rule,
+        });
+    }
+    out
+}
+
+fn push(ctx: &FileContext<'_>, out: &mut Vec<Finding>, line: u32, rule: &'static str, msg: String) {
+    out.push(Finding {
+        file: ctx.rel_path.to_string(),
+        line,
+        rule,
+        message: msg,
+    });
+}
+
+/// `unsafe-needs-safety-comment`: every `unsafe` token must have a comment
+/// containing `SAFETY:` on its own line or reachable by walking up through
+/// comment, attribute, and blank lines only.
+fn rule_unsafe_safety(
+    ctx: &FileContext<'_>,
+    code: &[&Token],
+    info: &LineInfo,
+    out: &mut Vec<Finding>,
+) {
+    for t in code {
+        if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        let mut ok = LineInfo::get(&info.has_safety, t.line);
+        let mut l = t.line.saturating_sub(1);
+        let floor = t.line.saturating_sub(SAFETY_WALK_LIMIT);
+        while !ok && l > floor && l > 0 {
+            if LineInfo::get(&info.has_safety, l) {
+                ok = true;
+            } else if LineInfo::get(&info.has_code, l) && !LineInfo::get(&info.starts_attr, l) {
+                break; // a real code line interrupts the comment run
+            }
+            l -= 1;
+        }
+        if !ok {
+            push(
+                ctx,
+                out,
+                t.line,
+                "unsafe-needs-safety-comment",
+                "`unsafe` without a preceding `// SAFETY:` comment justifying the invariant"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// `deterministic-iteration`: no `HashMap`/`HashSet` in library code of
+/// crates whose iteration order reaches aggregation, clustering, or
+/// telemetry.
+fn rule_deterministic_iteration(
+    ctx: &FileContext<'_>,
+    code: &[&Token],
+    info: &LineInfo,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.is_bin || !DETERMINISTIC_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for t in code {
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !LineInfo::get(&info.in_test, t.line)
+        {
+            push(
+                ctx,
+                out,
+                t.line,
+                "deterministic-iteration",
+                format!(
+                    "`{}` is hasher-ordered; use `BTreeMap`/`BTreeSet` or a sorted Vec so replay \
+                     is independent of hasher state",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `no-panic-paths`: `.unwrap()`, `.expect(`, `panic!`, `todo!`,
+/// `unimplemented!` are banned in library code of the panic-free crates.
+fn rule_no_panic_paths(
+    ctx: &FileContext<'_>,
+    code: &[&Token],
+    info: &LineInfo,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.is_bin || !PANIC_FREE_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || LineInfo::get(&info.in_test, t.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| code.get(p));
+        let next = code.get(i + 1);
+        let method_call = |name: &str| {
+            t.text == name
+                && prev.is_some_and(|p| p.text == ".")
+                && next.is_some_and(|n| n.text == "(")
+        };
+        if method_call("unwrap") || method_call("expect") {
+            push(
+                ctx,
+                out,
+                t.line,
+                "no-panic-paths",
+                format!(
+                    "`.{}()` in library code can panic; return a `Result`, rewrite infallibly, or \
+                     justify with a fedlint::allow pragma",
+                    t.text
+                ),
+            );
+        } else if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+            && next.is_some_and(|n| n.text == "!")
+        {
+            push(
+                ctx,
+                out,
+                t.line,
+                "no-panic-paths",
+                format!(
+                    "`{}!` in library code; the resilient server must not panic through here",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `rng-stream-discipline`: in `fl`/`core` library code, `derive(seed, &[…])`
+/// must lead its stream slice with a named constant (`streams::X`), never a
+/// bare integer literal; direct `seed_from_u64(<literal>)` is banned too.
+fn rule_rng_stream_discipline(
+    ctx: &FileContext<'_>,
+    code: &[&Token],
+    info: &LineInfo,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.is_bin || !RNG_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || LineInfo::get(&info.in_test, t.line) {
+            continue;
+        }
+        if t.text == "seed_from_u64"
+            && code.get(i + 1).is_some_and(|n| n.text == "(")
+            && code.get(i + 2).is_some_and(|n| n.kind == TokKind::Int)
+        {
+            push(
+                ctx,
+                out,
+                t.line,
+                "rng-stream-discipline",
+                "RNG seeded from a bare integer literal; derive it from the experiment seed and a \
+                 named `streams::` constant instead"
+                    .to_string(),
+            );
+            continue;
+        }
+        if t.text != "derive" || code.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        // Skip `#[derive(...)]` attributes.
+        let in_attr = i >= 2 && code[i - 1].text == "[" && code[i - 2].text == "#";
+        if in_attr {
+            continue;
+        }
+        // Scan the call's argument list for `&[`, then inspect the slice's
+        // first element.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while let Some(tok) = code.get(j) {
+            match tok.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "&" if depth >= 1 && code.get(j + 1).is_some_and(|n| n.text == "[") => {
+                    if let Some(first) = code.get(j + 2) {
+                        if first.kind == TokKind::Int {
+                            push(
+                                ctx,
+                                out,
+                                first.line,
+                                "rng-stream-discipline",
+                                format!(
+                                    "RNG stream starts with bare literal `{}`; lead with a named \
+                                     `streams::` constant so streams stay collision-free and greppable",
+                                    first.text
+                                ),
+                            );
+                        }
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// `float-eq`: `==` / `!=` with a float literal operand. (A lexer cannot see
+/// types, so float-vs-float variable comparisons are out of scope; literal
+/// comparisons are where every workspace instance lived.)
+fn rule_float_eq(ctx: &FileContext<'_>, code: &[&Token], info: &LineInfo, out: &mut Vec<Finding>) {
+    if ctx.is_bin {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Op
+            || (t.text != "==" && t.text != "!=")
+            || LineInfo::get(&info.in_test, t.line)
+        {
+            continue;
+        }
+        let float_adjacent = i
+            .checked_sub(1)
+            .and_then(|p| code.get(p))
+            .is_some_and(|p| p.kind == TokKind::Float)
+            || code.get(i + 1).is_some_and(|n| n.kind == TokKind::Float);
+        if float_adjacent {
+            push(
+                ctx,
+                out,
+                t.line,
+                "float-eq",
+                format!(
+                    "exact float comparison `{}` against a literal; use a tolerance or justify the \
+                     exact-zero/sentinel semantics with a fedlint::allow pragma",
+                    t.text
+                ),
+            );
+        }
+    }
+}

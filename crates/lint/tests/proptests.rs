@@ -1,0 +1,54 @@
+//! Property tests for the fedlint lexer: arbitrary byte soup must never
+//! panic it, hang it, or make it nondeterministic.
+
+use lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer survives arbitrary bytes (lossy-decoded, as the scanner
+    /// does for on-disk files) and is deterministic.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..2048)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Structured soup biased toward lexer-relevant delimiters, to hit the
+    /// string/comment/char state machines far more often than uniform bytes
+    /// would.
+    #[test]
+    fn delimiter_soup_never_panics(picks in proptest::collection::vec(0usize..16, 0..256)) {
+        const PIECES: [&str; 16] = [
+            "\"", "'", "r#\"", "\"#", "/*", "*/", "//", "\n",
+            "\\", "b'", "unsafe", "1.0", "==", "r#", "#", "x",
+        ];
+        let src: String = picks
+            .iter()
+            .map(|&i| PIECES.get(i).copied().unwrap_or(""))
+            .collect();
+        let toks = lex(&src);
+        // Line numbers never decrease through the stream.
+        let mut last = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= last, "line went backwards at {:?}", t);
+            last = t.line;
+        }
+    }
+
+    /// Whatever surrounds it, a cooked string's payload never leaks
+    /// identifier tokens.
+    #[test]
+    fn string_payloads_never_leak(n in 0usize..64) {
+        let src = format!("let s = \"{} unwrap() unsafe\";", "x".repeat(n));
+        let ids: Vec<String> = lex(&src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        prop_assert_eq!(ids, vec!["let".to_string(), "s".to_string()]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Fixture-based rule tests: one positive and one negative case per rule,
+//! exercised through the same `scan_workspace` driver the binary uses.
+
+use lint::{scan_workspace, Report};
+use std::path::PathBuf;
+
+fn fixture_root(which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(which)
+}
+
+fn scan(which: &str) -> Report {
+    scan_workspace(&fixture_root(which)).expect("fixture tree scans")
+}
+
+fn lines_for(report: &Report, rule: &str, file_suffix: &str) -> Vec<u32> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.file.ends_with(file_suffix))
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn positive_fixture_fires_every_rule() {
+    let report = scan("positive");
+    let v = "violations.rs";
+    assert_eq!(
+        lines_for(&report, "no-panic-paths", v),
+        vec![8, 9, 11, 14, 17, 38],
+        "unwrap/expect/panic!/todo!/unimplemented! + pragma-less unwrap"
+    );
+    assert_eq!(
+        lines_for(&report, "deterministic-iteration", v),
+        vec![5, 23]
+    );
+    assert_eq!(lines_for(&report, "rng-stream-discipline", v), vec![28, 29]);
+    assert_eq!(lines_for(&report, "float-eq", v), vec![33]);
+    assert_eq!(lines_for(&report, "pragma-syntax", v), vec![37]);
+    assert_eq!(
+        lines_for(
+            &report,
+            "unsafe-needs-safety-comment",
+            "unsafe_uncommented.rs"
+        ),
+        vec![4, 10],
+        "both the unsafe fn and the unsafe block"
+    );
+}
+
+#[test]
+fn negative_fixture_is_clean() {
+    let report = scan("negative");
+    assert_eq!(
+        report.findings,
+        Vec::new(),
+        "negative fixture must scan clean"
+    );
+    assert_eq!(report.files_scanned, 2);
+}
+
+#[test]
+fn findings_and_reports_are_deterministic() {
+    let a = scan("positive");
+    let b = scan("positive");
+    assert_eq!(a, b);
+    assert_eq!(lint::render_human(&a), lint::render_human(&b));
+    assert_eq!(lint::render_json(&a), lint::render_json(&b));
+    // Sorted by (file, line, rule, message).
+    let keys: Vec<_> = a
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule, f.message.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn json_report_mentions_each_rule_and_anchor() {
+    let report = scan("positive");
+    let json = lint::render_json(&report);
+    for rule in lint::rules::RULE_NAMES {
+        assert!(json.contains(rule), "JSON report missing rule {rule}");
+    }
+    assert!(json.contains("\"file\": \"crates/fl/src/violations.rs\""));
+    assert!(json.contains("\"line\": 8"));
+}
+
+#[test]
+fn seeded_violation_is_caught_with_file_line_diagnostic() {
+    // Acceptance criterion: re-introducing a violation (the old HashMap in
+    // hac.rs, or a stripped SAFETY comment) must fail `--deny` with a
+    // file:line diagnostic naming the rule. Simulate both on a scratch tree.
+    let scratch = std::env::temp_dir().join(format!("fedlint-seed-{}", std::process::id()));
+    let src = scratch.join("crates").join("cluster").join("src");
+    std::fs::create_dir_all(&src).expect("scratch tree");
+    std::fs::write(
+        src.join("hac.rs"),
+        "pub fn assign() -> usize {\n    let m: std::collections::HashMap<usize, usize> =\n        std::collections::HashMap::new();\n    m.len()\n}\n",
+    )
+    .expect("write seeded violation");
+    let report = scan_workspace(&scratch).expect("scratch scans");
+    std::fs::remove_dir_all(&scratch).ok();
+    let hits = lines_for(&report, "deterministic-iteration", "hac.rs");
+    assert_eq!(hits, vec![2, 3]);
+    let human = lint::render_human(&report);
+    assert!(
+        human.contains("crates/cluster/src/hac.rs:2: [deterministic-iteration]"),
+        "diagnostic must carry file:line and the rule name:\n{human}"
+    );
+}

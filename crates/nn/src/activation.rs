@@ -23,6 +23,7 @@ impl Layer for Relu {
         let mask = self
             .mask
             .take()
+            // fedlint::allow(no-panic-paths): Layer contract — backward always follows a train-mode forward, which fills the cache
             .expect("relu backward called without cached forward");
         assert_eq!(mask.len(), grad_out.numel(), "relu mask/grad size mismatch");
         for (g, &m) in grad_out.data_mut().iter_mut().zip(&mask) {
@@ -70,6 +71,7 @@ impl Layer for Tanh {
         let y = self
             .cached_output
             .take()
+            // fedlint::allow(no-panic-paths): Layer contract — backward always follows a train-mode forward, which fills the cache
             .expect("tanh backward called without cached forward");
         for (g, &yv) in grad_out.data_mut().iter_mut().zip(y.data()) {
             *g *= 1.0 - yv * yv;

@@ -67,6 +67,7 @@ impl Layer for Dense {
         let x = self
             .cached_input
             .take()
+            // fedlint::allow(no-panic-paths): Layer contract — backward always follows a train-mode forward, which fills the cache
             .expect("dense backward called without cached forward");
         // dW += grad_out^T (out×B) * x (B×in), accumulated straight into the
         // weight gradient by the slice-level GEMM — no intermediate tensor.

@@ -212,6 +212,7 @@ impl Model {
     /// Panics if the model has no parameterised layer.
     pub fn final_layer_vec(&self) -> Vec<f32> {
         let blocks = self.param_blocks();
+        // fedlint::allow(no-panic-paths): documented panic — the # Panics section requires at least one parameterised layer
         let last = blocks.last().expect("model has no parameterised layers");
         self.block_vec(last)
     }

@@ -112,6 +112,7 @@ impl Sgd {
             let n = p.value.numel();
             for j in 0..n {
                 let mut g = p.grad.data()[j];
+                // fedlint::allow(float-eq): exact-zero sentinel — wd == 0.0 means "weight decay disabled", set only from the literal default
                 if wd != 0.0 {
                     g += wd * p.value.data()[j];
                 }

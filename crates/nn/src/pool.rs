@@ -73,6 +73,7 @@ impl Layer for MaxPool2d {
         let (argmax, dims) = self
             .cached_argmax
             .take()
+            // fedlint::allow(no-panic-paths): Layer contract — backward always follows a train-mode forward, which fills the cache
             .expect("maxpool backward called without cached forward");
         let mut dx = Tensor::zeros(dims);
         let dxd = dx.data_mut();
@@ -128,6 +129,7 @@ impl Layer for GlobalAvgPool2d {
         let dims = self
             .cached_dims
             .take()
+            // fedlint::allow(no-panic-paths): Layer contract — backward always follows a train-mode forward, which fills the cache
             .expect("global avgpool backward called without cached forward");
         let (h, w) = (dims[2], dims[3]);
         let inv = 1.0 / (h * w) as f32;

@@ -26,6 +26,7 @@ impl Layer for Flatten {
         let dims = self
             .cached_dims
             .take()
+            // fedlint::allow(no-panic-paths): Layer contract — backward always follows a train-mode forward, which fills the cache
             .expect("flatten backward called without cached forward");
         grad_out.reshape_in_place(dims);
         grad_out

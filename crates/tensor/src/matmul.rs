@@ -182,6 +182,16 @@ fn microkernel_body<const FMA: bool>(k: usize, ap: &[f32], bp: &[f32]) -> [[f32;
 /// `vfmadd` and the `NR`-wide rows to YMM lanes. rustc's baseline x86-64
 /// target is SSE2-only, so without this instantiation the kernel runs at a
 /// quarter of the machine's width.
+// SAFETY: `unsafe` here comes solely from `#[target_feature]` — callers must
+// guarantee the CPU supports AVX2 and FMA (checked at the single dispatch
+// site below via `is_x86_feature_detected!`), or the emitted VEX/FMA
+// instructions fault with SIGILL. The body itself is safe Rust: every read
+// of `ap`/`bp` goes through `chunks_exact(MR)`/`chunks_exact(NR)` bounded by
+// `.take(k)`, so packed buffers shorter than `k*MR`/`k*NR` truncate the
+// accumulation rather than read out of bounds. The packers
+// (`pack_a_strip`/`pack_b_panel`) always fill exactly `kc*MR`/`kc*NR`
+// elements, zero-padding the ragged edges, so in-tree callers satisfy the
+// length invariant by construction.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn microkernel_avx2(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
@@ -196,7 +206,10 @@ fn microkernel(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
         // and a predictable branch per tile.
         if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
-            // SAFETY: required CPU features verified immediately above.
+            // SAFETY: `is_x86_feature_detected!` verified AVX2 and FMA
+            // support immediately above, which is `microkernel_avx2`'s only
+            // safety precondition (its slice reads are bounds-checked; see
+            // the SAFETY comment on its definition).
             return unsafe { microkernel_avx2(k, ap, bp) };
         }
     }
@@ -311,6 +324,7 @@ fn gemm_strided(
                                 // Full-width tile: fixed-size loop so the
                                 // accumulate vectorises.
                                 let orow: &mut [f32; NR] =
+                                    // fedlint::allow(no-panic-paths): `chunk[off..off + NR]` is exactly NR elements, so the array conversion is infallible
                                     (&mut chunk[off..off + NR]).try_into().unwrap();
                                 for (o, &v) in orow.iter_mut().zip(acc_row) {
                                     *o += v;

@@ -13,6 +13,9 @@ cargo build --release
 echo "== lints =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== fedlint =="
+cargo run -q -p lint --release -- --deny
+
 echo "== tests =="
 cargo test -q
 
