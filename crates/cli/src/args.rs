@@ -58,6 +58,20 @@ pub struct Args {
     pub retries: usize,
     /// Emit machine-readable JSON instead of text (run subcommand).
     pub json: bool,
+    /// Directory for durable round checkpoints (`run` subcommand). `None`
+    /// disables checkpointing entirely.
+    pub checkpoint_dir: Option<String>,
+    /// Write a checkpoint every N rounds.
+    pub checkpoint_every: usize,
+    /// Number of checkpoint generations to retain.
+    pub keep: usize,
+    /// Resume from the newest valid checkpoint in `--checkpoint-dir`.
+    pub resume: bool,
+    /// Crash-injection: kill the process after this round completes.
+    pub crash_after: Option<usize>,
+    /// Crash-injection: die halfway through the checkpoint write (torn
+    /// write), exercising the atomic-rename recovery path.
+    pub crash_mid_write: bool,
 }
 
 /// A parse failure with a user-facing message.
@@ -98,6 +112,14 @@ OPTIONS:
   --deadline <F>            round deadline             (default 1.0)
   --retries <N>             downlink retry budget      (default 2)
   --json                    machine-readable output (run)
+
+CHECKPOINTING (run):
+  --checkpoint-dir <DIR>    write durable round checkpoints under DIR
+  --checkpoint-every <N>    checkpoint cadence in rounds           (default 1)
+  --keep <N>                checkpoint generations to retain       (default 3)
+  --resume                  resume from the newest valid checkpoint
+  --crash-after <ROUND>     crash injection: exit after this round
+  --crash-mid-write         crash injection: tear the checkpoint write
 ";
 
 impl Args {
@@ -121,6 +143,12 @@ impl Args {
             deadline: 1.0,
             retries: 2,
             json: false,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            keep: 3,
+            resume: false,
+            crash_after: None,
+            crash_mid_write: false,
         }
     }
 
@@ -201,6 +229,19 @@ impl Args {
                 "--deadline" => args.deadline = parse_num(value("--deadline")?, "--deadline")?,
                 "--retries" => args.retries = parse_num(value("--retries")?, "--retries")?,
                 "--json" => args.json = true,
+                "--checkpoint-dir" => {
+                    args.checkpoint_dir = Some(value("--checkpoint-dir")?.clone())
+                }
+                "--checkpoint-every" => {
+                    args.checkpoint_every =
+                        parse_num(value("--checkpoint-every")?, "--checkpoint-every")?
+                }
+                "--keep" => args.keep = parse_num(value("--keep")?, "--keep")?,
+                "--resume" => args.resume = true,
+                "--crash-after" => {
+                    args.crash_after = Some(parse_num(value("--crash-after")?, "--crash-after")?)
+                }
+                "--crash-mid-write" => args.crash_mid_write = true,
                 other => return Err(ParseError(format!("unknown option '{}'\n{}", other, USAGE))),
             }
         }
@@ -209,33 +250,97 @@ impl Args {
                 return Err(ParseError("`run` requires --method <name>".into()));
             }
         }
-        if args.clients == 0 || args.rounds == 0 || args.epochs == 0 {
+        args.validate()?;
+        Ok(args)
+    }
+
+    /// Range- and consistency-check parsed values. Every message names the
+    /// flag and the offending value so the fix is obvious from the error
+    /// alone.
+    fn validate(&self) -> Result<(), ParseError> {
+        if self.clients == 0 || self.rounds == 0 || self.epochs == 0 {
             return Err(ParseError(
                 "clients, rounds and epochs must be positive".into(),
             ));
         }
-        if !(0.0..=1.0).contains(&args.dropout) {
-            return Err(ParseError("--dropout must be in [0, 1]".into()));
-        }
+        // Probabilities: NaN fails `contains` too, but is called out
+        // explicitly so the message never reads "NaN must be in [0, 1]".
         for (flag, value) in [
-            ("--uplink-loss", args.uplink_loss),
-            ("--downlink-loss", args.downlink_loss),
-            ("--corrupt-rate", args.corrupt_rate),
-            ("--straggler-rate", args.straggler_rate),
+            ("--dropout", self.dropout),
+            ("--uplink-loss", self.uplink_loss),
+            ("--downlink-loss", self.downlink_loss),
+            ("--corrupt-rate", self.corrupt_rate),
+            ("--straggler-rate", self.straggler_rate),
         ] {
+            if value.is_nan() {
+                return Err(ParseError(format!(
+                    "{} is NaN; it must be a probability in [0, 1]",
+                    flag
+                )));
+            }
             if !(0.0..=1.0).contains(&value) {
-                return Err(ParseError(format!("{} must be in [0, 1]", flag)));
+                return Err(ParseError(format!(
+                    "{} must be in [0, 1], got {}",
+                    flag, value
+                )));
             }
         }
-        if args.straggler_delay < 0.0 || args.deadline < 0.0 {
+        if self.sample_rate.is_nan() {
             return Err(ParseError(
-                "--straggler-delay and --deadline must be non-negative".into(),
+                "--sample-rate is NaN; it must be in (0, 1]".into(),
             ));
         }
-        if !(0.0 < args.sample_rate && args.sample_rate <= 1.0) {
-            return Err(ParseError("--sample-rate must be in (0, 1]".into()));
+        if !(0.0 < self.sample_rate && self.sample_rate <= 1.0) {
+            return Err(ParseError(format!(
+                "--sample-rate must be in (0, 1], got {}",
+                self.sample_rate
+            )));
         }
-        Ok(args)
+        // Timing scales: `< 0.0` is false for NaN, so check NaN explicitly
+        // — otherwise a NaN delay/deadline would slip through to the fault
+        // injector.
+        for (flag, value) in [
+            ("--straggler-delay", self.straggler_delay),
+            ("--deadline", self.deadline),
+        ] {
+            if value.is_nan() {
+                return Err(ParseError(format!(
+                    "{} is NaN; it must be a non-negative number",
+                    flag
+                )));
+            }
+            if value < 0.0 {
+                return Err(ParseError(format!(
+                    "{} must be non-negative, got {}",
+                    flag, value
+                )));
+            }
+        }
+        if self.checkpoint_every == 0 {
+            return Err(ParseError("--checkpoint-every must be at least 1".into()));
+        }
+        if self.keep == 0 {
+            return Err(ParseError("--keep must be at least 1".into()));
+        }
+        if self.checkpoint_dir.is_none() {
+            if self.resume {
+                return Err(ParseError("--resume requires --checkpoint-dir".into()));
+            }
+            if self.crash_after.is_some() {
+                return Err(ParseError("--crash-after requires --checkpoint-dir".into()));
+            }
+            if self.crash_mid_write {
+                return Err(ParseError(
+                    "--crash-mid-write requires --checkpoint-dir".into(),
+                ));
+            }
+        }
+        if self.crash_mid_write && self.crash_after.is_none() {
+            return Err(ParseError(
+                "--crash-mid-write requires --crash-after <round>".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -358,5 +463,106 @@ mod tests {
     fn help_returns_usage() {
         let err = Args::parse(&argv(&["--help"])).unwrap_err();
         assert!(err.0.contains("USAGE"));
+    }
+
+    fn parse_run(extra: &[&str]) -> Result<Args, ParseError> {
+        let mut parts = vec!["run", "--method", "fedavg"];
+        parts.extend_from_slice(extra);
+        Args::parse(&argv(&parts))
+    }
+
+    #[test]
+    fn nan_probabilities_are_rejected_per_flag() {
+        for flag in [
+            "--sample-rate",
+            "--dropout",
+            "--uplink-loss",
+            "--downlink-loss",
+            "--corrupt-rate",
+            "--straggler-rate",
+        ] {
+            let err = parse_run(&[flag, "NaN"]).unwrap_err();
+            assert!(err.0.contains(flag), "{}: {}", flag, err);
+            assert!(err.0.contains("NaN"), "{}: {}", flag, err);
+        }
+    }
+
+    #[test]
+    fn nan_timing_values_are_rejected() {
+        // Regression: `< 0.0` is false for NaN, so these once slipped
+        // through validation silently.
+        for flag in ["--straggler-delay", "--deadline"] {
+            let err = parse_run(&[flag, "NaN"]).unwrap_err();
+            assert!(err.0.contains(flag), "{}: {}", flag, err);
+            assert!(err.0.contains("NaN"), "{}: {}", flag, err);
+        }
+    }
+
+    #[test]
+    fn out_of_range_errors_name_flag_and_value() {
+        let err = parse_run(&["--dropout", "1.5"]).unwrap_err();
+        assert!(
+            err.0.contains("--dropout") && err.0.contains("1.5"),
+            "{}",
+            err
+        );
+        let err = parse_run(&["--uplink-loss", "-0.2"]).unwrap_err();
+        assert!(
+            err.0.contains("--uplink-loss") && err.0.contains("-0.2"),
+            "{}",
+            err
+        );
+        let err = parse_run(&["--sample-rate", "0"]).unwrap_err();
+        assert!(err.0.contains("--sample-rate"), "{}", err);
+        let err = parse_run(&["--deadline", "-3"]).unwrap_err();
+        assert!(
+            err.0.contains("--deadline") && err.0.contains("-3"),
+            "{}",
+            err
+        );
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let a = parse_run(&[
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "2",
+            "--keep",
+            "5",
+            "--resume",
+        ])
+        .unwrap();
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(a.checkpoint_every, 2);
+        assert_eq!(a.keep, 5);
+        assert!(a.resume);
+        assert_eq!(a.crash_after, None);
+        assert!(!a.crash_mid_write);
+
+        let a = parse_run(&[
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--crash-after",
+            "3",
+            "--crash-mid-write",
+        ])
+        .unwrap();
+        assert_eq!(a.crash_after, Some(3));
+        assert!(a.crash_mid_write);
+    }
+
+    #[test]
+    fn checkpoint_flag_consistency_is_enforced() {
+        // Flags that act on a checkpoint directory require one.
+        assert!(parse_run(&["--resume"]).is_err());
+        assert!(parse_run(&["--crash-after", "1"]).is_err());
+        assert!(parse_run(&["--crash-mid-write"]).is_err());
+        // A torn write only happens during a crash.
+        assert!(parse_run(&["--checkpoint-dir", "/tmp/ck", "--crash-mid-write"]).is_err());
+        // Cadence and retention must be positive.
+        assert!(parse_run(&["--checkpoint-dir", "/tmp/ck", "--checkpoint-every", "0"]).is_err());
+        assert!(parse_run(&["--checkpoint-dir", "/tmp/ck", "--keep", "0"]).is_err());
     }
 }

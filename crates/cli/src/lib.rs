@@ -15,7 +15,7 @@ use fedclust::FedClust;
 use fedclust_cluster::metrics::adjusted_rand_index;
 use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
 use fedclust_fl::methods::{baselines, extended_baselines, FlMethod};
-use fedclust_fl::{FaultPlan, FlConfig};
+use fedclust_fl::{Checkpointer, CrashPlan, FaultPlan, FlConfig};
 
 pub mod args;
 
@@ -85,7 +85,27 @@ pub fn execute(args: &Args) -> Result<String, String> {
             })?;
             let fd = build_dataset(args)?;
             let cfg = build_config(args);
-            let result = m.run(&fd, &cfg);
+            let result = match &args.checkpoint_dir {
+                Some(dir) => {
+                    let mut ckpt = Checkpointer::new(dir)
+                        .every(args.checkpoint_every)
+                        .keep(args.keep)
+                        .resume(args.resume)
+                        .crash(CrashPlan {
+                            after_round: args.crash_after,
+                            mid_write: args.crash_mid_write,
+                        });
+                    let result = m
+                        .run_resumable(&fd, &cfg, &mut ckpt)
+                        .map_err(|e| e.to_string())?;
+                    // Diagnostics go to stderr so `--json` stdout stays clean.
+                    for line in ckpt.diagnostics() {
+                        eprintln!("checkpoint: {}", line);
+                    }
+                    result
+                }
+                None => m.run(&fd, &cfg),
+            };
             if args.json {
                 serde_json::to_string_pretty(&result).map_err(|e| e.to_string())
             } else {

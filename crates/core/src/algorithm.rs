@@ -1,9 +1,13 @@
 //! FedClust, Algorithm 1: the full method.
 
 use crate::clustering::{cluster_clients, ClusteringOutcome, LambdaSelect};
+use crate::persist::SavedFederation;
 use crate::proximity::{collect_partial_weights_for, proximity_matrix, WeightSelection};
 use fedclust_cluster::hac::Linkage;
 use fedclust_data::FederatedDataset;
+use fedclust_fl::checkpoint::{
+    check_len, run_without_checkpoints, Checkpoint, CheckpointError, Checkpointer, MethodState,
+};
 use fedclust_fl::engine::{
     average_accuracy, evaluate_clients, init_model, sample_clients, train_round, weighted_average,
 };
@@ -78,10 +82,81 @@ impl FedClust {
         fd: &FederatedDataset,
         cfg: &FlConfig,
     ) -> (RunResult, TrainedFederation) {
+        run_without_checkpoints(|ckpt| self.run_detailed_resumable(fd, cfg, ckpt))
+    }
+
+    /// [`FedClust::run_detailed`] with checkpoint/resume support.
+    ///
+    /// FedClust's value is concentrated in its one-shot round-0 state
+    /// (proximity clustering, representatives), so the checkpoint embeds a
+    /// full [`SavedFederation`] snapshot and a post-clustering checkpoint
+    /// is written immediately (`next_round = 0`: clustering done, no
+    /// training yet) regardless of the configured cadence. A resumed run
+    /// never re-clusters — it restores the assignment and continues the
+    /// per-cluster training rounds bit-identically.
+    pub fn run_detailed_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<(RunResult, TrainedFederation), CheckpointError> {
         let template = init_model(fd, cfg);
         let state_len = template.state_len();
         let init_state = template.state_vec();
         let mut transport = Transport::new(cfg);
+
+        if let Some(cp) = ckpt.resume_point(self.name(), cfg.seed)? {
+            let MethodState::FedClust { federation_json } = cp.state else {
+                return Err(CheckpointError::WrongState(format!(
+                    "FedClust cannot resume from a {} checkpoint",
+                    cp.state.kind()
+                )));
+            };
+            let saved = SavedFederation::from_json(&federation_json).map_err(|e| {
+                CheckpointError::Corrupt(format!("embedded federation snapshot: {}", e))
+            })?;
+            let geometry = (fd.channels, fd.height, fd.width, fd.num_classes);
+            if saved.geometry != geometry {
+                return Err(CheckpointError::Mismatch(format!(
+                    "snapshot geometry {:?} does not match this dataset's {:?}",
+                    saved.geometry, geometry
+                )));
+            }
+            check_len(
+                "cluster labels",
+                saved.outcome.labels.len(),
+                fd.num_clients(),
+            )?;
+            check_len("initial state", saved.init_state.len(), state_len)?;
+            let k = saved.outcome.num_clusters.max(1);
+            check_len("cluster states", saved.cluster_states.len(), k)?;
+            check_len("representatives", saved.representatives.len(), k)?;
+            for s in &saved.cluster_states {
+                check_len("cluster state", s.len(), state_len)?;
+            }
+            for l in &saved.outcome.labels {
+                if *l >= k {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "cluster label {} out of range for {} clusters",
+                        l, k
+                    )));
+                }
+            }
+            transport.restore_comm_state(cp.meter, cp.telemetry);
+            return self.train_clusters(
+                fd,
+                cfg,
+                ckpt,
+                template,
+                init_state,
+                saved.outcome,
+                saved.representatives,
+                saved.cluster_states,
+                cp.history,
+                cp.next_round,
+                transport,
+            );
+        }
 
         // ---- Round 0 (Algorithm 1, lines 2–7): one-shot clustering. ----
         // Server broadcasts θ⁰ to all clients; each the downlink reaches
@@ -163,11 +238,64 @@ impl FedClust {
             )
         };
         let k = outcome.num_clusters.max(1);
+        let states: Vec<Vec<f32>> = vec![init_state.clone(); k];
 
-        // ---- Rounds 1..T (Algorithm 1, lines 9–14): per-cluster FedAvg. ----
-        let mut states: Vec<Vec<f32>> = vec![init_state.clone(); k];
-        let mut history = Vec::new();
-        for round in 0..cfg.rounds {
+        // The one-shot clustering artifact is the expensive, never-cheaply-
+        // recomputable part of a FedClust run: snapshot it immediately,
+        // regardless of the checkpoint cadence.
+        ckpt.save_now(&Checkpoint {
+            method: self.name().to_string(),
+            seed: cfg.seed,
+            next_round: 0,
+            meter: transport.meter().clone(),
+            telemetry: transport.telemetry(),
+            history: Vec::new(),
+            state: MethodState::FedClust {
+                federation_json: federation_json(
+                    cfg,
+                    fd,
+                    &init_state,
+                    &outcome,
+                    &representatives,
+                    &states,
+                ),
+            },
+        })?;
+
+        self.train_clusters(
+            fd,
+            cfg,
+            ckpt,
+            template,
+            init_state,
+            outcome,
+            representatives,
+            states,
+            Vec::new(),
+            0,
+            transport,
+        )
+    }
+
+    /// Rounds 1..T (Algorithm 1, lines 9–14): per-cluster FedAvg, shared by
+    /// the fresh and resumed paths.
+    #[allow(clippy::too_many_arguments)]
+    fn train_clusters(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+        template: Model,
+        init_state: Vec<f32>,
+        outcome: ClusteringOutcome,
+        representatives: Vec<Vec<f32>>,
+        mut states: Vec<Vec<f32>>,
+        mut history: Vec<RoundRecord>,
+        start_round: usize,
+        mut transport: Transport,
+    ) -> Result<(RunResult, TrainedFederation), CheckpointError> {
+        let k = outcome.num_clusters.max(1);
+        for round in start_round..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round + 1);
             for (ci, state) in states.iter_mut().enumerate() {
                 let members: Vec<usize> = sampled
@@ -208,6 +336,25 @@ impl FedClust {
                     cum_mb: transport.meter().total_mb(),
                 });
             }
+
+            ckpt.on_round_end(round, || Checkpoint {
+                method: self.name().to_string(),
+                seed: cfg.seed,
+                next_round: round + 1,
+                meter: transport.meter().clone(),
+                telemetry: transport.telemetry(),
+                history: history.clone(),
+                state: MethodState::FedClust {
+                    federation_json: federation_json(
+                        cfg,
+                        fd,
+                        &init_state,
+                        &outcome,
+                        &representatives,
+                        &states,
+                    ),
+                },
+            })?;
         }
 
         let per_client_acc =
@@ -231,8 +378,30 @@ impl FedClust {
             representatives,
             outcome,
         };
-        (result, federation)
+        Ok((result, federation))
     }
+}
+
+/// Serialize the current federation state into the [`SavedFederation`] JSON
+/// a FedClust checkpoint embeds.
+fn federation_json(
+    cfg: &FlConfig,
+    fd: &FederatedDataset,
+    init_state: &[f32],
+    outcome: &ClusteringOutcome,
+    representatives: &[Vec<f32>],
+    states: &[Vec<f32>],
+) -> String {
+    SavedFederation {
+        model_spec: cfg.model,
+        geometry: (fd.channels, fd.height, fd.width, fd.num_classes),
+        init_state: init_state.to_vec(),
+        labels: outcome.labels.clone(),
+        cluster_states: states.to_vec(),
+        representatives: representatives.to_vec(),
+        outcome: outcome.clone(),
+    }
+    .to_json()
 }
 
 impl FlMethod for FedClust {
@@ -242,6 +411,15 @@ impl FlMethod for FedClust {
 
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
         self.run_detailed(fd, cfg).0
+    }
+
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
+        Ok(self.run_detailed_resumable(fd, cfg, ckpt)?.0)
     }
 }
 

@@ -65,3 +65,4 @@ pub mod proximity;
 
 pub use algorithm::{FedClust, TrainedFederation};
 pub use clustering::LambdaSelect;
+pub use persist::{RestoreError, SavedFederation};

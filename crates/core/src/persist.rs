@@ -13,6 +13,19 @@ use fedclust_nn::models::ModelSpec;
 use fedclust_tensor::rng::{derive, streams};
 use serde::{Deserialize, Serialize};
 
+/// Why a [`SavedFederation`] could not be restored: the snapshot is
+/// internally inconsistent or does not match the architecture it claims.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoreError(String);
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt federation snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// Serializable snapshot of a trained FedClust federation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SavedFederation {
@@ -49,22 +62,59 @@ impl SavedFederation {
     /// Restore a working federation: rebuilds the model template from the
     /// spec/geometry and re-installs all saved state.
     ///
-    /// # Panics
-    /// Panics if a saved state vector does not match the rebuilt
-    /// template's state length (corrupted snapshot or changed code).
-    pub fn restore(&self) -> TrainedFederation {
+    /// # Errors
+    /// Returns a descriptive [`RestoreError`] when the snapshot is
+    /// internally inconsistent (corrupted file or changed code): state
+    /// vectors that do not match the rebuilt template's length, a cluster
+    /// count that disagrees between the states, representatives and
+    /// outcome, or labels pointing at nonexistent clusters.
+    pub fn restore(&self) -> Result<TrainedFederation, RestoreError> {
         let (c, h, w, classes) = self.geometry;
         // The RNG only seeds throwaway initial weights; every parameter is
         // overwritten from the snapshot below.
         let mut rng = derive(0, &[streams::MODEL_INIT]);
         let mut template = self.model_spec.build(c, h, w, classes, &mut rng);
-        assert_eq!(
-            template.state_len(),
-            self.init_state.len(),
-            "snapshot does not match the rebuilt architecture"
-        );
+        if template.state_len() != self.init_state.len() {
+            return Err(RestoreError(format!(
+                "initial state has {} values but the rebuilt architecture needs {}",
+                self.init_state.len(),
+                template.state_len()
+            )));
+        }
+        let k = self.outcome.num_clusters.max(1);
+        if self.cluster_states.len() != k {
+            return Err(RestoreError(format!(
+                "{} cluster states for an outcome with {} clusters",
+                self.cluster_states.len(),
+                k
+            )));
+        }
+        if self.representatives.len() != k {
+            return Err(RestoreError(format!(
+                "{} representatives for an outcome with {} clusters",
+                self.representatives.len(),
+                k
+            )));
+        }
+        if let Some(bad) = self
+            .cluster_states
+            .iter()
+            .find(|s| s.len() != template.state_len())
+        {
+            return Err(RestoreError(format!(
+                "cluster state has {} values but the rebuilt architecture needs {}",
+                bad.len(),
+                template.state_len()
+            )));
+        }
+        if let Some(bad) = self.labels.iter().find(|&&l| l >= k) {
+            return Err(RestoreError(format!(
+                "label {} points at a nonexistent cluster (only {} exist)",
+                bad, k
+            )));
+        }
         template.set_state_vec(&self.init_state);
-        TrainedFederation {
+        Ok(TrainedFederation {
             template,
             model_spec: self.model_spec,
             geometry: self.geometry,
@@ -73,7 +123,7 @@ impl SavedFederation {
             cluster_states: self.cluster_states.clone(),
             representatives: self.representatives.clone(),
             outcome: self.outcome.clone(),
-        }
+        })
     }
 
     /// Serialize to a JSON string.
@@ -140,7 +190,8 @@ mod tests {
         let saved = SavedFederation::from_federation(&federation);
         let restored = SavedFederation::from_json(&saved.to_json())
             .unwrap()
-            .restore();
+            .restore()
+            .unwrap();
         // Probe with each representative: assignments must match the
         // original federation's.
         for rep in &federation.representatives {
@@ -156,10 +207,29 @@ mod tests {
     #[test]
     fn corrupted_snapshot_is_rejected() {
         let federation = trained();
+
         let mut saved = SavedFederation::from_federation(&federation);
         saved.init_state.pop();
-        let result = std::panic::catch_unwind(|| saved.restore());
-        assert!(result.is_err(), "truncated state must not restore");
+        let err = saved.restore().err().expect("truncated init_state");
+        assert!(err.to_string().contains("initial state"), "{}", err);
+
+        let mut saved = SavedFederation::from_federation(&federation);
+        saved.cluster_states.pop();
+        assert!(saved.restore().is_err(), "missing cluster state");
+
+        let mut saved = SavedFederation::from_federation(&federation);
+        saved.representatives.pop();
+        assert!(saved.restore().is_err(), "missing representative");
+
+        let mut saved = SavedFederation::from_federation(&federation);
+        if let Some(s) = saved.cluster_states.first_mut() {
+            s.pop();
+        }
+        assert!(saved.restore().is_err(), "truncated cluster state");
+
+        let mut saved = SavedFederation::from_federation(&federation);
+        saved.labels[0] = 999;
+        assert!(saved.restore().is_err(), "out-of-range label");
     }
 
     #[test]

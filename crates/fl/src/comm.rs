@@ -27,6 +27,24 @@ impl CommMeter {
         Self::default()
     }
 
+    /// Rebuild a meter from raw byte counts (checkpoint restore).
+    pub fn from_bytes(downlink_bytes: f64, uplink_bytes: f64) -> Self {
+        CommMeter {
+            downlink_bytes,
+            uplink_bytes,
+        }
+    }
+
+    /// Raw downlink byte count (checkpoint serialization).
+    pub fn downlink_bytes(&self) -> f64 {
+        self.downlink_bytes
+    }
+
+    /// Raw uplink byte count (checkpoint serialization).
+    pub fn uplink_bytes(&self) -> f64 {
+        self.uplink_bytes
+    }
+
     /// Charge a server→client transfer of `scalars` f32 values.
     pub fn down(&mut self, scalars: usize) {
         self.downlink_bytes += scalars as f64 * BYTES_PER_SCALAR;

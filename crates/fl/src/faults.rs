@@ -127,6 +127,40 @@ impl FaultPlan {
     }
 }
 
+/// Exit code of a process killed by an armed [`CrashPlan`]. Distinct from
+/// the CLI's error exits (1: run error, 2: parse error) so crash-recovery
+/// tests can tell an injected death from a genuine failure.
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// Deterministic process-death injection, the process-level sibling of
+/// [`FaultPlan`]'s message faults. Armed through
+/// [`crate::checkpoint::Checkpointer::crash`], it kills the process (via
+/// `std::process::exit` with [`CRASH_EXIT_CODE`]) at a precise point in
+/// the round loop so crash-recovery tests can exercise resume paths
+/// reproducibly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CrashPlan {
+    /// Die at the end of this round (0-based), after its checkpoint is
+    /// written — unless `mid_write` tears that very write.
+    pub after_round: Option<usize>,
+    /// Die halfway through writing the checkpoint instead of after it:
+    /// only part of the image reaches the `*.tmp` file, simulating a power
+    /// cut mid-write. The previous generation must survive untouched.
+    pub mid_write: bool,
+}
+
+impl CrashPlan {
+    /// No crash: the plan never fires.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan will kill the process at some point.
+    pub fn is_armed(&self) -> bool {
+        self.after_round.is_some()
+    }
+}
+
 /// Counters of everything the fault layer did in one run; part of
 /// [`crate::metrics::RunResult`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -196,6 +230,14 @@ impl Transport {
     /// Fault counters so far.
     pub fn telemetry(&self) -> FaultTelemetry {
         self.telemetry
+    }
+
+    /// Reinstall the meter and telemetry captured in a checkpoint, so a
+    /// resumed run's communication and fault accounting continue exactly
+    /// where the interrupted run left off.
+    pub fn restore_comm_state(&mut self, meter: CommMeter, telemetry: FaultTelemetry) {
+        self.meter = meter;
+        self.telemetry = telemetry;
     }
 
     /// Send `scalars` values down to each of `clients`, retrying each

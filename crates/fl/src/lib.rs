@@ -8,7 +8,11 @@
 //! * [`comm::CommMeter`] — exact byte accounting of every up/down transfer
 //!   (Tables 4 and 5 are derived from this),
 //! * [`faults`] — deterministic fault injection (stragglers, link loss,
-//!   update corruption) and the server's resilience policy,
+//!   update corruption, process crashes) and the server's resilience
+//!   policy,
+//! * [`checkpoint`] — crash-safe durable checkpoints with bit-identical
+//!   resume (torn-write-safe atomic writes, checksummed format,
+//!   generation rotation, corrupt-generation fallback),
 //! * [`metrics`] — round telemetry, run results, rounds/Mb-to-target,
 //! * [`engine`] — the shared round machinery: deterministic client
 //!   sampling, parallel local training, weighted state averaging, and
@@ -19,6 +23,7 @@
 //! FedClust itself lives in the `fedclust` crate and plugs into the same
 //! [`methods::FlMethod`] trait.
 
+pub mod checkpoint;
 pub mod comm;
 pub mod config;
 pub mod engine;
@@ -26,8 +31,9 @@ pub mod faults;
 pub mod methods;
 pub mod metrics;
 
+pub use checkpoint::{Checkpoint, CheckpointError, Checkpointer, MethodState};
 pub use comm::CommMeter;
 pub use config::FlConfig;
-pub use faults::{FaultPlan, FaultTelemetry, Transport};
+pub use faults::{CrashPlan, FaultPlan, FaultTelemetry, Transport};
 pub use methods::FlMethod;
 pub use metrics::{RoundRecord, RunResult};

@@ -17,6 +17,9 @@
 //! * only clients with a cached update participate in the split decision —
 //!   never-sampled members follow the sub-cluster of the first split group.
 
+use crate::checkpoint::{
+    check_len, run_without_checkpoints, Checkpoint, CheckpointError, Checkpointer, MethodState,
+};
 use crate::config::FlConfig;
 use crate::engine::{
     average_accuracy, evaluate_clients, init_model, sample_clients, train_round, weighted_average,
@@ -62,8 +65,18 @@ impl FlMethod for Cfl {
     }
 
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+        run_without_checkpoints(|ckpt| self.run_resumable(fd, cfg, ckpt))
+    }
+
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
         let template = init_model(fd, cfg);
         let num_params = template.num_params();
+        let state_len = template.state_len();
         let mut clusters = vec![Cluster {
             state: template.state_vec(),
             members: (0..fd.num_clients()).collect(),
@@ -73,8 +86,51 @@ impl FlMethod for Cfl {
         let mut reference_norm: Option<f64> = None;
         let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
+        let mut start_round = 0;
 
-        for round in 0..cfg.rounds {
+        if let Some(cp) = ckpt.resume_point(self.name(), cfg.seed)? {
+            let MethodState::Cfl {
+                states,
+                members,
+                last_update: lu,
+                reference_norm: rn,
+            } = cp.state
+            else {
+                return Err(CheckpointError::WrongState(format!(
+                    "CFL cannot resume from a {} checkpoint",
+                    cp.state.kind()
+                )));
+            };
+            check_len("cluster member lists", members.len(), states.len())?;
+            check_len("cached updates", lu.len(), fd.num_clients())?;
+            for s in &states {
+                check_len("cluster state", s.len(), state_len)?;
+            }
+            for u in lu.iter().flatten() {
+                check_len("cached update", u.len(), num_params)?;
+            }
+            for m in members.iter().flatten() {
+                if *m >= fd.num_clients() {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "cluster member {} out of range for {} clients",
+                        m,
+                        fd.num_clients()
+                    )));
+                }
+            }
+            clusters = states
+                .into_iter()
+                .zip(members)
+                .map(|(state, members)| Cluster { state, members })
+                .collect();
+            last_update = lu;
+            reference_norm = rn;
+            start_round = cp.next_round;
+            history = cp.history;
+            transport.restore_comm_state(cp.meter, cp.telemetry);
+        }
+
+        for round in start_round..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
             // Group sampled clients by their cluster.
             let cluster_of: Vec<usize> = client_to_cluster(&clusters, fd.num_clients());
@@ -162,12 +218,27 @@ impl FlMethod for Cfl {
                     cum_mb: transport.meter().total_mb(),
                 });
             }
+
+            ckpt.on_round_end(round, || Checkpoint {
+                method: self.name().to_string(),
+                seed: cfg.seed,
+                next_round: round + 1,
+                meter: transport.meter().clone(),
+                telemetry: transport.telemetry(),
+                history: history.clone(),
+                state: MethodState::Cfl {
+                    states: clusters.iter().map(|c| c.state.clone()).collect(),
+                    members: clusters.iter().map(|c| c.members.clone()).collect(),
+                    last_update: last_update.clone(),
+                    reference_norm,
+                },
+            })?;
         }
 
         let cluster_of = client_to_cluster(&clusters, fd.num_clients());
         let per_client_acc =
             evaluate_clients(fd, &template, |c| clusters[cluster_of[c]].state.as_slice());
-        RunResult {
+        Ok(RunResult {
             method: self.name().to_string(),
             final_acc: average_accuracy(&per_client_acc),
             per_client_acc,
@@ -175,7 +246,7 @@ impl FlMethod for Cfl {
             num_clusters: Some(clusters.len()),
             total_mb: transport.meter().total_mb(),
             faults: transport.telemetry(),
-        }
+        })
     }
 }
 

@@ -17,6 +17,9 @@
 //! Like SCAFFOLD, FedDyn is part of the extended related-work suite, not
 //! the paper's main tables.
 
+use crate::checkpoint::{
+    check_len, run_without_checkpoints, Checkpoint, CheckpointError, Checkpointer, MethodState,
+};
 use crate::config::FlConfig;
 use crate::engine::{average_accuracy, evaluate_clients, init_model, sample_clients};
 use crate::faults::Transport;
@@ -96,6 +99,15 @@ impl FlMethod for FedDyn {
     }
 
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+        run_without_checkpoints(|ckpt| self.run_resumable(fd, cfg, ckpt))
+    }
+
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
         let template = init_model(fd, cfg);
         let num_params = template.num_params();
         let state_len = template.state_len();
@@ -104,8 +116,35 @@ impl FlMethod for FedDyn {
         let mut lambdas: Vec<Vec<f32>> = vec![vec![0.0f32; num_params]; fd.num_clients()];
         let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
+        let mut start_round = 0;
 
-        for round in 0..cfg.rounds {
+        if let Some(cp) = ckpt.resume_point(self.name(), cfg.seed)? {
+            let MethodState::FedDyn {
+                state: s,
+                h: hh,
+                lambdas: ls,
+            } = cp.state
+            else {
+                return Err(CheckpointError::WrongState(format!(
+                    "FedDyn cannot resume from a {} checkpoint",
+                    cp.state.kind()
+                )));
+            };
+            check_len("server state", s.len(), state_len)?;
+            check_len("server corrector h", hh.len(), num_params)?;
+            check_len("client duals", ls.len(), fd.num_clients())?;
+            for l in &ls {
+                check_len("client dual", l.len(), num_params)?;
+            }
+            state = s;
+            h = hh;
+            lambdas = ls;
+            start_round = cp.next_round;
+            history = cp.history;
+            transport.restore_comm_state(cp.meter, cp.telemetry);
+        }
+
+        for round in start_round..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
             let delivered = transport.broadcast(round, &sampled, state_len);
             let (params, extra) = state.split_at(num_params);
@@ -147,40 +186,31 @@ impl FlMethod for FedDyn {
                     results.push((client, payload, ex, weight));
                 }
             }
-            if results.is_empty() {
-                // Nothing arrived: θ, h and the duals carry forward.
-                if cfg.should_eval(round) {
-                    let per_client = evaluate_clients(fd, &template, |_| &state[..]);
-                    history.push(RoundRecord {
-                        round: round + 1,
-                        avg_acc: average_accuracy(&per_client),
-                        cum_mb: transport.meter().total_mb(),
-                    });
+            // An empty survivor set leaves θ, h and the duals as they are;
+            // the round still evaluates and checkpoints below.
+            if !results.is_empty() {
+                // Server state from the surviving uploads.
+                let s = results.len() as f64;
+                let mut mean_w = vec![0.0f64; num_params];
+                for (_, w, _, _) in &results {
+                    for j in 0..num_params {
+                        mean_w[j] += w[j] as f64 / s;
+                    }
                 }
-                continue;
-            }
-
-            // Server state from the surviving uploads.
-            let s = results.len() as f64;
-            let mut mean_w = vec![0.0f64; num_params];
-            for (_, w, _, _) in &results {
                 for j in 0..num_params {
-                    mean_w[j] += w[j] as f64 / s;
+                    h[j] -= self.alpha * (mean_w[j] as f32 - state[j]);
                 }
-            }
-            for j in 0..num_params {
-                h[j] -= self.alpha * (mean_w[j] as f32 - state[j]);
-            }
-            for j in 0..num_params {
-                state[j] = mean_w[j] as f32 - h[j] / self.alpha;
-            }
-            if state_len > num_params {
-                let items: Vec<(&[f32], f32)> = results
-                    .iter()
-                    .map(|(_, _, ex, weight)| (ex.as_slice(), *weight))
-                    .collect();
-                let avg = crate::engine::weighted_average(&items);
-                state[num_params..].copy_from_slice(&avg);
+                for j in 0..num_params {
+                    state[j] = mean_w[j] as f32 - h[j] / self.alpha;
+                }
+                if state_len > num_params {
+                    let items: Vec<(&[f32], f32)> = results
+                        .iter()
+                        .map(|(_, _, ex, weight)| (ex.as_slice(), *weight))
+                        .collect();
+                    let avg = crate::engine::weighted_average(&items);
+                    state[num_params..].copy_from_slice(&avg);
+                }
             }
 
             if cfg.should_eval(round) {
@@ -191,10 +221,24 @@ impl FlMethod for FedDyn {
                     cum_mb: transport.meter().total_mb(),
                 });
             }
+
+            ckpt.on_round_end(round, || Checkpoint {
+                method: self.name().to_string(),
+                seed: cfg.seed,
+                next_round: round + 1,
+                meter: transport.meter().clone(),
+                telemetry: transport.telemetry(),
+                history: history.clone(),
+                state: MethodState::FedDyn {
+                    state: state.clone(),
+                    h: h.clone(),
+                    lambdas: lambdas.clone(),
+                },
+            })?;
         }
 
         let per_client_acc = evaluate_clients(fd, &template, |_| &state[..]);
-        RunResult {
+        Ok(RunResult {
             method: self.name().to_string(),
             final_acc: average_accuracy(&per_client_acc),
             per_client_acc,
@@ -202,7 +246,7 @@ impl FlMethod for FedDyn {
             num_clusters: Some(1),
             total_mb: transport.meter().total_mb(),
             faults: transport.telemetry(),
-        }
+        })
     }
 }
 

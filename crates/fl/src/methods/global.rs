@@ -4,6 +4,9 @@
 //! and differ only in the local objective (FedProx's proximal term) or the
 //! aggregation rule (FedNova's normalised averaging).
 
+use crate::checkpoint::{
+    check_len, run_without_checkpoints, Checkpoint, CheckpointError, Checkpointer, MethodState,
+};
 use crate::config::FlConfig;
 use crate::engine::{
     average_accuracy, evaluate_clients, init_model, sample_clients, train_round, weighted_average,
@@ -57,7 +60,15 @@ impl FlMethod for FedAvg {
         "FedAvg"
     }
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
-        run_global(Variant::FedAvg, self.name(), fd, cfg)
+        run_without_checkpoints(|ckpt| self.run_resumable(fd, cfg, ckpt))
+    }
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
+        run_global(Variant::FedAvg, self.name(), fd, cfg, ckpt)
     }
 }
 
@@ -66,7 +77,15 @@ impl FlMethod for FedProx {
         "FedProx"
     }
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
-        run_global(Variant::FedProx { mu: self.mu }, self.name(), fd, cfg)
+        run_without_checkpoints(|ckpt| self.run_resumable(fd, cfg, ckpt))
+    }
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
+        run_global(Variant::FedProx { mu: self.mu }, self.name(), fd, cfg, ckpt)
     }
 }
 
@@ -75,19 +94,49 @@ impl FlMethod for FedNova {
         "FedNova"
     }
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
-        run_global(Variant::FedNova, self.name(), fd, cfg)
+        run_without_checkpoints(|ckpt| self.run_resumable(fd, cfg, ckpt))
+    }
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
+        run_global(Variant::FedNova, self.name(), fd, cfg, ckpt)
     }
 }
 
-fn run_global(variant: Variant, name: &str, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+fn run_global(
+    variant: Variant,
+    name: &str,
+    fd: &FederatedDataset,
+    cfg: &FlConfig,
+    ckpt: &mut Checkpointer,
+) -> Result<RunResult, CheckpointError> {
     let template = init_model(fd, cfg);
     let state_len = template.state_len();
     let num_params = template.num_params();
     let mut global = template.state_vec();
     let mut transport = Transport::new(cfg);
     let mut history = Vec::new();
+    let mut start_round = 0;
 
-    for round in 0..cfg.rounds {
+    if let Some(cp) = ckpt.resume_point(name, cfg.seed)? {
+        let MethodState::Global { state } = cp.state else {
+            return Err(CheckpointError::WrongState(format!(
+                "{} cannot resume from a {} checkpoint",
+                name,
+                cp.state.kind()
+            )));
+        };
+        check_len("global state", state.len(), state_len)?;
+        global = state;
+        start_round = cp.next_round;
+        history = cp.history;
+        transport.restore_comm_state(cp.meter, cp.telemetry);
+    }
+
+    for round in start_round..cfg.rounds {
         let sampled = sample_clients(fd.num_clients(), cfg, round);
         let prox = match variant {
             Variant::FedProx { mu } => Some(mu),
@@ -114,10 +163,22 @@ fn run_global(variant: Variant, name: &str, fd: &FederatedDataset, cfg: &FlConfi
                 cum_mb: transport.meter().total_mb(),
             });
         }
+
+        ckpt.on_round_end(round, || Checkpoint {
+            method: name.to_string(),
+            seed: cfg.seed,
+            next_round: round + 1,
+            meter: transport.meter().clone(),
+            telemetry: transport.telemetry(),
+            history: history.clone(),
+            state: MethodState::Global {
+                state: global.clone(),
+            },
+        })?;
     }
 
     let per_client_acc = evaluate_clients(fd, &template, |_| &global[..]);
-    RunResult {
+    Ok(RunResult {
         method: name.to_string(),
         final_acc: average_accuracy(&per_client_acc),
         per_client_acc,
@@ -125,7 +186,7 @@ fn run_global(variant: Variant, name: &str, fd: &FederatedDataset, cfg: &FlConfi
         num_clusters: Some(1),
         total_mb: transport.meter().total_mb(),
         faults: transport.telemetry(),
-    }
+    })
 }
 
 /// The final global state of a FedAvg-family run (used by the newcomer

@@ -7,6 +7,9 @@
 //! training data, trains it, and uploads the result tagged with the chosen
 //! cluster. The server averages per cluster.
 
+use crate::checkpoint::{
+    check_len, run_without_checkpoints, Checkpoint, CheckpointError, Checkpointer, MethodState,
+};
 use crate::config::FlConfig;
 use crate::engine::{average_accuracy, init_model, local_train, sample_clients, weighted_average};
 use crate::faults::Transport;
@@ -64,6 +67,16 @@ impl Ifca {
         fd: &FederatedDataset,
         cfg: &FlConfig,
     ) -> (RunResult, Vec<Vec<f32>>) {
+        run_without_checkpoints(|ckpt| self.run_detailed_resumable(fd, cfg, ckpt))
+    }
+
+    /// [`Ifca::run_detailed`] with checkpoint/resume support.
+    pub fn run_detailed_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<(RunResult, Vec<Vec<f32>>), CheckpointError> {
         assert!(self.k >= 1, "IFCA needs at least one cluster");
         let template = init_model(fd, cfg);
         let state_len = template.state_len();
@@ -78,8 +91,26 @@ impl Ifca {
             .collect();
         let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
+        let mut start_round = 0;
 
-        for round in 0..cfg.rounds {
+        if let Some(cp) = ckpt.resume_point(self.name(), cfg.seed)? {
+            let MethodState::Ifca { states: ss } = cp.state else {
+                return Err(CheckpointError::WrongState(format!(
+                    "IFCA cannot resume from a {} checkpoint",
+                    cp.state.kind()
+                )));
+            };
+            check_len("cluster models", ss.len(), self.k)?;
+            for s in &ss {
+                check_len("cluster model", s.len(), state_len)?;
+            }
+            states = ss;
+            start_round = cp.next_round;
+            history = cp.history;
+            transport.restore_comm_state(cp.meter, cp.telemetry);
+        }
+
+        for round in start_round..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
             // All k models go down in one bundle per client.
             let delivered = transport.broadcast(round, &sampled, self.k * state_len);
@@ -133,6 +164,18 @@ impl Ifca {
                     cum_mb: transport.meter().total_mb(),
                 });
             }
+
+            ckpt.on_round_end(round, || Checkpoint {
+                method: self.name().to_string(),
+                seed: cfg.seed,
+                next_round: round + 1,
+                meter: transport.meter().clone(),
+                telemetry: transport.telemetry(),
+                history: history.clone(),
+                state: MethodState::Ifca {
+                    states: states.clone(),
+                },
+            })?;
         }
 
         let per_client_acc = self.evaluate(fd, &template, &states);
@@ -145,7 +188,7 @@ impl Ifca {
             total_mb: transport.meter().total_mb(),
             faults: transport.telemetry(),
         };
-        (result, states)
+        Ok((result, states))
     }
 }
 
@@ -156,6 +199,15 @@ impl FlMethod for Ifca {
 
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
         self.run_detailed(fd, cfg).0
+    }
+
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
+        Ok(self.run_detailed_resumable(fd, cfg, ckpt)?.0)
     }
 }
 

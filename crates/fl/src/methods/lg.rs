@@ -6,6 +6,9 @@
 //! communicated and averaged — hence its tiny communication cost in the
 //! paper's Table 5.
 
+use crate::checkpoint::{
+    check_len, run_without_checkpoints, Checkpoint, CheckpointError, Checkpointer, MethodState,
+};
 use crate::config::FlConfig;
 use crate::engine::{
     average_accuracy, init_model, local_train, sample_clients, weighted_average_or,
@@ -44,6 +47,16 @@ pub struct LgArtifacts {
 impl LgFedAvg {
     /// Run and keep the trained global head (Table 6).
     pub fn run_detailed(&self, fd: &FederatedDataset, cfg: &FlConfig) -> (RunResult, LgArtifacts) {
+        run_without_checkpoints(|ckpt| self.run_detailed_resumable(fd, cfg, ckpt))
+    }
+
+    /// [`LgFedAvg::run_detailed`] with checkpoint/resume support.
+    pub fn run_detailed_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<(RunResult, LgArtifacts), CheckpointError> {
         let template = init_model(fd, cfg);
         let blocks = template.param_blocks();
         assert!(
@@ -65,8 +78,32 @@ impl LgFedAvg {
         let mut client_states: Vec<Vec<f32>> = vec![init_state.clone(); fd.num_clients()];
         let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
+        let mut start_round = 0;
 
-        for round in 0..cfg.rounds {
+        if let Some(cp) = ckpt.resume_point(self.name(), cfg.seed)? {
+            let MethodState::Lg {
+                global_part: gp,
+                client_states: cs,
+            } = cp.state
+            else {
+                return Err(CheckpointError::WrongState(format!(
+                    "LG cannot resume from a {} checkpoint",
+                    cp.state.kind()
+                )));
+            };
+            check_len("global tail", gp.len(), init_state.len() - split)?;
+            check_len("client states", cs.len(), fd.num_clients())?;
+            for s in &cs {
+                check_len("client state", s.len(), state_len)?;
+            }
+            global_part = gp;
+            client_states = cs;
+            start_round = cp.next_round;
+            history = cp.history;
+            transport.restore_comm_state(cp.meter, cp.telemetry);
+        }
+
+        for round in start_round..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
             // Only the global tail travels; clients the downlink never
             // reaches sit the round out entirely.
@@ -121,6 +158,19 @@ impl LgFedAvg {
                     cum_mb: transport.meter().total_mb(),
                 });
             }
+
+            ckpt.on_round_end(round, || Checkpoint {
+                method: self.name().to_string(),
+                seed: cfg.seed,
+                next_round: round + 1,
+                meter: transport.meter().clone(),
+                telemetry: transport.telemetry(),
+                history: history.clone(),
+                state: MethodState::Lg {
+                    global_part: global_part.clone(),
+                    client_states: client_states.clone(),
+                },
+            })?;
         }
 
         let per_client_acc = self.evaluate(fd, &template, &client_states, &global_part, split);
@@ -133,7 +183,7 @@ impl LgFedAvg {
             total_mb: transport.meter().total_mb(),
             faults: transport.telemetry(),
         };
-        (result, LgArtifacts { global_part, split })
+        Ok((result, LgArtifacts { global_part, split }))
     }
 }
 
@@ -144,6 +194,15 @@ impl FlMethod for LgFedAvg {
 
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
         self.run_detailed(fd, cfg).0
+    }
+
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
+        Ok(self.run_detailed_resumable(fd, cfg, ckpt)?.0)
     }
 }
 

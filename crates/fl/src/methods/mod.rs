@@ -4,6 +4,7 @@
 //! same telemetry, so the experiment harnesses treat FedClust and every
 //! baseline uniformly.
 
+use crate::checkpoint::{CheckpointError, Checkpointer};
 use crate::config::FlConfig;
 use crate::metrics::RunResult;
 use fedclust_data::FederatedDataset;
@@ -35,6 +36,25 @@ pub trait FlMethod: Sync {
 
     /// Run the method on a federated dataset and return its telemetry.
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult;
+
+    /// Run with durable checkpointing: consult `ckpt` for a resume point
+    /// before round 0, write a checkpoint at the cadence it dictates, and
+    /// continue **bit-identically** from a restored snapshot (all engine
+    /// RNG derives statelessly from `(seed, stream, round, client)`, so a
+    /// resumed run matches an uninterrupted one byte for byte).
+    ///
+    /// The default implementation ignores `ckpt` and runs from scratch —
+    /// correct for methods without cross-round server state (e.g. purely
+    /// local training). Every federated method overrides it.
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
+        let _ = ckpt;
+        Ok(self.run(fd, cfg))
+    }
 }
 
 /// All nine baselines with the paper's hyper-parameters, in table order.

@@ -7,6 +7,9 @@
 //! principal angles between subspaces, clusters with hierarchical
 //! clustering, and then trains one FedAvg model per cluster.
 
+use crate::checkpoint::{
+    check_len, run_without_checkpoints, Checkpoint, CheckpointError, Checkpointer, MethodState,
+};
 use crate::config::FlConfig;
 use crate::engine::{
     average_accuracy, evaluate_clients, init_model, sample_clients, train_round, weighted_average,
@@ -94,22 +97,69 @@ impl Pacfl {
         fd: &FederatedDataset,
         cfg: &FlConfig,
     ) -> (RunResult, PacflArtifacts) {
+        run_without_checkpoints(|ckpt| self.run_detailed_resumable(fd, cfg, ckpt))
+    }
+
+    /// [`Pacfl::run_detailed`] with checkpoint/resume support. The subspace
+    /// bases are recomputed on resume (they are deterministic functions of
+    /// the raw client data), but the one-shot basis exchange is *not*
+    /// re-charged: the restored meter already includes it.
+    pub fn run_detailed_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<(RunResult, PacflArtifacts), CheckpointError> {
         let template = init_model(fd, cfg);
+        let state_len = template.state_len();
         let mut transport = Transport::new(cfg);
 
-        // One-shot clustering before federation. The basis exchange is a
-        // reliable pre-federation step (PACFL assumes it), charged directly.
         let bases = self.client_bases(fd);
-        let feature_dim = fd.channels * fd.height * fd.width;
-        for b in &bases {
-            transport.meter_mut().up(b.dims()[1] * feature_dim); // p vectors of d floats
+        let mut start_round = 0;
+        let (labels, k, mut states, mut history);
+        if let Some(cp) = ckpt.resume_point(self.name(), cfg.seed)? {
+            let MethodState::Clustered {
+                states: ss,
+                labels: ls,
+            } = cp.state
+            else {
+                return Err(CheckpointError::WrongState(format!(
+                    "PACFL cannot resume from a {} checkpoint",
+                    cp.state.kind()
+                )));
+            };
+            check_len("cluster labels", ls.len(), fd.num_clients())?;
+            for s in &ss {
+                check_len("cluster state", s.len(), state_len)?;
+            }
+            k = ss.len();
+            for l in &ls {
+                if *l >= k {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "cluster label {} out of range for {} clusters",
+                        l, k
+                    )));
+                }
+            }
+            labels = ls;
+            states = ss;
+            start_round = cp.next_round;
+            history = cp.history;
+            transport.restore_comm_state(cp.meter, cp.telemetry);
+        } else {
+            // One-shot clustering before federation. The basis exchange is a
+            // reliable pre-federation step (PACFL assumes it), charged directly.
+            let feature_dim = fd.channels * fd.height * fd.width;
+            for b in &bases {
+                transport.meter_mut().up(b.dims()[1] * feature_dim); // p vectors of d floats
+            }
+            labels = self.cluster(&bases);
+            k = labels.iter().copied().max().unwrap_or(0) + 1;
+            states = vec![template.state_vec(); k];
+            history = Vec::new();
         }
-        let labels = self.cluster(&bases);
-        let k = labels.iter().copied().max().unwrap_or(0) + 1;
-        let mut states: Vec<Vec<f32>> = vec![template.state_vec(); k];
 
-        let mut history = Vec::new();
-        for round in 0..cfg.rounds {
+        for round in start_round..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
             for (ci, state) in states.iter_mut().enumerate() {
                 let members: Vec<usize> = sampled
@@ -150,6 +200,19 @@ impl Pacfl {
                     cum_mb: transport.meter().total_mb(),
                 });
             }
+
+            ckpt.on_round_end(round, || Checkpoint {
+                method: self.name().to_string(),
+                seed: cfg.seed,
+                next_round: round + 1,
+                meter: transport.meter().clone(),
+                telemetry: transport.telemetry(),
+                history: history.clone(),
+                state: MethodState::Clustered {
+                    states: states.clone(),
+                    labels: labels.clone(),
+                },
+            })?;
         }
 
         let per_client_acc = evaluate_clients(fd, &template, |c| states[labels[c]].as_slice());
@@ -162,14 +225,14 @@ impl Pacfl {
             total_mb: transport.meter().total_mb(),
             faults: transport.telemetry(),
         };
-        (
+        Ok((
             result,
             PacflArtifacts {
                 states,
                 labels,
                 bases,
             },
-        )
+        ))
     }
 }
 
@@ -180,6 +243,15 @@ impl FlMethod for Pacfl {
 
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
         self.run_detailed(fd, cfg).0
+    }
+
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
+        Ok(self.run_detailed_resumable(fd, cfg, ckpt)?.0)
     }
 }
 

@@ -8,6 +8,9 @@
 //! personalizes the global model with a few α-steps on its own training
 //! data before testing.
 
+use crate::checkpoint::{
+    check_len, run_without_checkpoints, Checkpoint, CheckpointError, Checkpointer, MethodState,
+};
 use crate::config::FlConfig;
 use crate::engine::{average_accuracy, init_model, sample_clients, weighted_average_or};
 use crate::faults::Transport;
@@ -144,13 +147,40 @@ impl PerFedAvg {
     /// Run and also return the trained global (meta) state, for post-hoc
     /// personalization of unseen clients (Table 6).
     pub fn run_detailed(&self, fd: &FederatedDataset, cfg: &FlConfig) -> (RunResult, Vec<f32>) {
+        run_without_checkpoints(|ckpt| self.run_detailed_resumable(fd, cfg, ckpt))
+    }
+
+    /// [`PerFedAvg::run_detailed`] with checkpoint/resume support. The
+    /// meta-state has the single-global-model shape, so it shares the
+    /// `Global` checkpoint variant.
+    pub fn run_detailed_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<(RunResult, Vec<f32>), CheckpointError> {
         let template = init_model(fd, cfg);
         let state_len = template.state_len();
         let mut global = template.state_vec();
         let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
+        let mut start_round = 0;
 
-        for round in 0..cfg.rounds {
+        if let Some(cp) = ckpt.resume_point(self.name(), cfg.seed)? {
+            let MethodState::Global { state } = cp.state else {
+                return Err(CheckpointError::WrongState(format!(
+                    "PerFedAvg cannot resume from a {} checkpoint",
+                    cp.state.kind()
+                )));
+            };
+            check_len("meta state", state.len(), state_len)?;
+            global = state;
+            start_round = cp.next_round;
+            history = cp.history;
+            transport.restore_comm_state(cp.meter, cp.telemetry);
+        }
+
+        for round in start_round..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
             let delivered = transport.broadcast(round, &sampled, state_len);
             let trained: Vec<(usize, Vec<f32>, f32)> = delivered
@@ -187,6 +217,18 @@ impl PerFedAvg {
                     cum_mb: transport.meter().total_mb(),
                 });
             }
+
+            ckpt.on_round_end(round, || Checkpoint {
+                method: self.name().to_string(),
+                seed: cfg.seed,
+                next_round: round + 1,
+                meter: transport.meter().clone(),
+                telemetry: transport.telemetry(),
+                history: history.clone(),
+                state: MethodState::Global {
+                    state: global.clone(),
+                },
+            })?;
         }
 
         let per_client_acc = self.evaluate_personalized(fd, &template, &global, cfg);
@@ -199,7 +241,7 @@ impl PerFedAvg {
             total_mb: transport.meter().total_mb(),
             faults: transport.telemetry(),
         };
-        (result, global)
+        Ok((result, global))
     }
 }
 
@@ -210,6 +252,15 @@ impl FlMethod for PerFedAvg {
 
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
         self.run_detailed(fd, cfg).0
+    }
+
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
+        Ok(self.run_detailed_resumable(fd, cfg, ckpt)?.0)
     }
 }
 

@@ -11,6 +11,9 @@
 //! SCAFFOLD is not in the paper's main tables, but it is implemented here
 //! as part of the related-work baseline suite (see `methods::extended`).
 
+use crate::checkpoint::{
+    check_len, run_without_checkpoints, Checkpoint, CheckpointError, Checkpointer, MethodState,
+};
 use crate::config::FlConfig;
 use crate::engine::{average_accuracy, evaluate_clients, init_model, sample_clients};
 use crate::faults::Transport;
@@ -118,6 +121,15 @@ impl FlMethod for Scaffold {
     }
 
     fn run(&self, fd: &FederatedDataset, cfg: &FlConfig) -> RunResult {
+        run_without_checkpoints(|ckpt| self.run_resumable(fd, cfg, ckpt))
+    }
+
+    fn run_resumable(
+        &self,
+        fd: &FederatedDataset,
+        cfg: &FlConfig,
+        ckpt: &mut Checkpointer,
+    ) -> Result<RunResult, CheckpointError> {
         let template = init_model(fd, cfg);
         let num_params = template.num_params();
         let state_len = template.state_len();
@@ -126,11 +138,38 @@ impl FlMethod for Scaffold {
         let mut c_clients: Vec<Vec<f32>> = vec![vec![0.0f32; num_params]; fd.num_clients()];
         let mut transport = Transport::new(cfg);
         let mut history = Vec::new();
+        let mut start_round = 0;
         // Down: model state + global control variate.
         // Up: Δw (+ extra state) + Δc, concatenated into one payload.
         let wire_len = state_len + num_params;
 
-        for round in 0..cfg.rounds {
+        if let Some(cp) = ckpt.resume_point(self.name(), cfg.seed)? {
+            let MethodState::Scaffold {
+                state: s,
+                c_global: cg,
+                c_clients: cc,
+            } = cp.state
+            else {
+                return Err(CheckpointError::WrongState(format!(
+                    "SCAFFOLD cannot resume from a {} checkpoint",
+                    cp.state.kind()
+                )));
+            };
+            check_len("server state", s.len(), state_len)?;
+            check_len("global control variate", cg.len(), num_params)?;
+            check_len("client control variates", cc.len(), fd.num_clients())?;
+            for ci in &cc {
+                check_len("client control variate", ci.len(), num_params)?;
+            }
+            state = s;
+            c_global = cg;
+            c_clients = cc;
+            start_round = cp.next_round;
+            history = cp.history;
+            transport.restore_comm_state(cp.meter, cp.telemetry);
+        }
+
+        for round in start_round..cfg.rounds {
             let sampled = sample_clients(fd.num_clients(), cfg, round);
             let delivered = transport.broadcast(round, &sampled, wire_len);
             let (params, extra) = state.split_at(num_params);
@@ -171,42 +210,33 @@ impl FlMethod for Scaffold {
                     outcomes.push(o);
                 }
             }
-            if outcomes.is_empty() {
-                // Nothing arrived: the server state carries forward.
-                if cfg.should_eval(round) {
-                    let per_client = evaluate_clients(fd, &template, |_| &state[..]);
-                    history.push(RoundRecord {
-                        round: round + 1,
-                        avg_acc: average_accuracy(&per_client),
-                        cum_mb: transport.meter().total_mb(),
-                    });
+            // An empty survivor set carries the server state forward; the
+            // round still evaluates and checkpoints below.
+            if !outcomes.is_empty() {
+                // Server update: x ← x + ηg · mean Δw; c ← c + (|S|/N) mean Δc.
+                let s = outcomes.len() as f32;
+                let scale_c = s / fd.num_clients() as f32;
+                let mut mean_dw = vec![0.0f64; num_params];
+                let mut mean_dc = vec![0.0f64; num_params];
+                for o in &outcomes {
+                    for j in 0..num_params {
+                        mean_dw[j] += o.delta_w[j] as f64 / s as f64;
+                        mean_dc[j] += o.delta_c[j] as f64 / s as f64;
+                    }
                 }
-                continue;
-            }
-
-            // Server update: x ← x + ηg · mean Δw; c ← c + (|S|/N) mean Δc.
-            let s = outcomes.len() as f32;
-            let scale_c = s / fd.num_clients() as f32;
-            let mut mean_dw = vec![0.0f64; num_params];
-            let mut mean_dc = vec![0.0f64; num_params];
-            for o in &outcomes {
                 for j in 0..num_params {
-                    mean_dw[j] += o.delta_w[j] as f64 / s as f64;
-                    mean_dc[j] += o.delta_c[j] as f64 / s as f64;
+                    state[j] += self.eta_g * mean_dw[j] as f32;
+                    c_global[j] += scale_c * mean_dc[j] as f32;
                 }
-            }
-            for j in 0..num_params {
-                state[j] += self.eta_g * mean_dw[j] as f32;
-                c_global[j] += scale_c * mean_dc[j] as f32;
-            }
-            // Extra state (batch-norm stats): sample-size-weighted average.
-            if state_len > num_params {
-                let items: Vec<(&[f32], f32)> = outcomes
-                    .iter()
-                    .map(|o| (o.extra_state.as_slice(), o.weight))
-                    .collect();
-                let extra = crate::engine::weighted_average(&items);
-                state[num_params..].copy_from_slice(&extra);
+                // Extra state (batch-norm stats): sample-size-weighted average.
+                if state_len > num_params {
+                    let items: Vec<(&[f32], f32)> = outcomes
+                        .iter()
+                        .map(|o| (o.extra_state.as_slice(), o.weight))
+                        .collect();
+                    let extra = crate::engine::weighted_average(&items);
+                    state[num_params..].copy_from_slice(&extra);
+                }
             }
 
             if cfg.should_eval(round) {
@@ -217,10 +247,24 @@ impl FlMethod for Scaffold {
                     cum_mb: transport.meter().total_mb(),
                 });
             }
+
+            ckpt.on_round_end(round, || Checkpoint {
+                method: self.name().to_string(),
+                seed: cfg.seed,
+                next_round: round + 1,
+                meter: transport.meter().clone(),
+                telemetry: transport.telemetry(),
+                history: history.clone(),
+                state: MethodState::Scaffold {
+                    state: state.clone(),
+                    c_global: c_global.clone(),
+                    c_clients: c_clients.clone(),
+                },
+            })?;
         }
 
         let per_client_acc = evaluate_clients(fd, &template, |_| &state[..]);
-        RunResult {
+        Ok(RunResult {
             method: self.name().to_string(),
             final_acc: average_accuracy(&per_client_acc),
             per_client_acc,
@@ -228,7 +272,7 @@ impl FlMethod for Scaffold {
             num_clusters: Some(1),
             total_mb: transport.meter().total_mb(),
             faults: transport.telemetry(),
-        }
+        })
     }
 }
 

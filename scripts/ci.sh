@@ -22,5 +22,9 @@ cargo test -q
 echo "== fault tolerance =="
 cargo test -q --test fault_tolerance
 
+echo "== crash recovery =="
+cargo test -q --test crash_recovery
+scripts/kill_resume_smoke.sh
+
 echo "== quick benchmarks =="
 scripts/bench_quick.sh

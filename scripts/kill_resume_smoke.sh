@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test: run a checkpointed federation, SIGKILL it
+# mid-flight, resume in a fresh process, and require the resumed --json
+# output to be byte-identical to an uninterrupted reference run
+# (EXPERIMENTS.md "Kill-and-resume"). Exits nonzero on any divergence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/fedclust-kill-resume.XXXXXX")
+trap 'rm -rf "$WORK"; [ -n "${PID:-}" ] && kill -9 "$PID" 2>/dev/null || true' EXIT
+CKPT="$WORK/ckpt"
+
+ARGS=(run --method fedclust --dataset fmnist --partition skew50
+  --clients 20 --rounds 40 --epochs 3 --samples-per-class 200
+  --seed 11 --json)
+
+cargo build --release -q -p fedclust-cli
+BIN=target/release/fedclust-cli
+
+echo "-- reference run (uninterrupted)"
+"$BIN" "${ARGS[@]}" > "$WORK/reference.json"
+
+echo "-- checkpointed run, SIGKILL mid-flight"
+"$BIN" "${ARGS[@]}" --checkpoint-dir "$CKPT" --checkpoint-every 1 --keep 8 \
+  > "$WORK/interrupted.json" 2>/dev/null &
+PID=$!
+# Wait until a few checkpoint generations land, then kill hard mid-run.
+for _ in $(seq 1 3000); do
+  gens=$(ls "$CKPT" 2>/dev/null | grep -c '^ckpt-.*\.bin$' || true)
+  if [ "$gens" -ge 3 ]; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then break; fi
+  sleep 0.02
+done
+if kill -9 "$PID" 2>/dev/null; then
+  echo "   killed pid $PID"
+else
+  echo "   run finished before the kill (machine too fast) — resume still exercised"
+fi
+wait "$PID" 2>/dev/null || true
+PID=""
+
+if ! ls "$CKPT"/ckpt-*.bin >/dev/null 2>&1; then
+  echo "ERROR: no checkpoint generation was written" >&2
+  exit 1
+fi
+
+echo "-- resume in a fresh process"
+"$BIN" "${ARGS[@]}" --checkpoint-dir "$CKPT" --keep 8 --resume \
+  > "$WORK/resumed.json"
+
+if diff -q "$WORK/reference.json" "$WORK/resumed.json" >/dev/null; then
+  echo "OK: resumed output is byte-identical to the uninterrupted run"
+else
+  echo "ERROR: resumed output diverged from the reference run" >&2
+  diff "$WORK/reference.json" "$WORK/resumed.json" >&2 || true
+  exit 1
+fi

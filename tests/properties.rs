@@ -6,7 +6,11 @@ use fedclust_repro::cluster::hac::{agglomerative, Linkage};
 use fedclust_repro::cluster::metrics::{adjusted_rand_index, normalized_mutual_info, purity};
 use fedclust_repro::cluster::ProximityMatrix;
 use fedclust_repro::data::Partition;
+use fedclust_repro::fedclust::clustering::ClusteringOutcome;
+use fedclust_repro::fedclust::SavedFederation;
 use fedclust_repro::fl::engine::weighted_average;
+use fedclust_repro::nn::models::ModelSpec;
+use fedclust_repro::tensor::rng::{derive, streams};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -116,5 +120,59 @@ proptest! {
         let expect: Vec<usize> = (0..labels.len()).collect();
         prop_assert_eq!(all, expect);
         prop_assert!(assignment.iter().all(|c| !c.is_empty()));
+    }
+
+    /// A [`SavedFederation`] survives serialize → deserialize → restore
+    /// bit-identically, for arbitrary model specs, dataset geometries and
+    /// cluster counts. This is the persistence contract the checkpoint
+    /// subsystem's FedClust snapshots lean on.
+    #[test]
+    fn saved_federation_round_trips_bit_identically(
+        hidden in 4usize..32,
+        c in 1usize..4,
+        h in 6usize..17,
+        w in 6usize..17,
+        classes in 2usize..11,
+        k in 1usize..5,
+        num_clients in 1usize..10,
+        fills in proptest::collection::vec(-1000.0f32..1000.0, 6),
+        lambda in 0.0f32..10.0,
+    ) {
+        let spec = ModelSpec::Mlp { hidden };
+        // The RNG only seeds throwaway initial weights; restore overwrites
+        // every parameter from the snapshot.
+        let mut rng = derive(0, &[streams::MODEL_INIT]);
+        let template = spec.build(c, h, w, classes, &mut rng);
+        let state_len = template.state_len();
+        // Deterministic per-slot values so equal vectors can't mask a
+        // shuffled round trip.
+        let fill = |len: usize, which: usize| -> Vec<f32> {
+            let base = fills[which % fills.len()];
+            (0..len).map(|i| base + i as f32 * 1.0e-3).collect()
+        };
+        let labels: Vec<usize> = (0..num_clients).map(|i| i % k).collect();
+        let saved = SavedFederation {
+            model_spec: spec,
+            geometry: (c, h, w, classes),
+            init_state: fill(state_len, 0),
+            labels: labels.clone(),
+            cluster_states: (0..k).map(|i| fill(state_len, i + 1)).collect(),
+            representatives: (0..k).map(|i| fill(hidden + 1, i + 2)).collect(),
+            outcome: ClusteringOutcome {
+                labels,
+                num_clusters: k,
+                lambda,
+            },
+        };
+        let back = SavedFederation::from_json(&saved.to_json()).unwrap();
+        let restored = back.restore().unwrap();
+        prop_assert_eq!(&restored.init_state, &saved.init_state);
+        prop_assert_eq!(&restored.template.state_vec(), &saved.init_state);
+        prop_assert_eq!(&restored.cluster_states, &saved.cluster_states);
+        prop_assert_eq!(&restored.representatives, &saved.representatives);
+        prop_assert_eq!(&restored.labels, &saved.labels);
+        prop_assert_eq!(&restored.outcome, &saved.outcome);
+        prop_assert_eq!(restored.model_spec, saved.model_spec);
+        prop_assert_eq!(restored.geometry, saved.geometry);
     }
 }
