@@ -217,28 +217,27 @@ impl Checkpoint {
 
     /// Decode and verify an on-disk image.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
-        if bytes.len() < 28 {
-            return Err(CheckpointError::Corrupt(format!(
+        let too_short = || {
+            CheckpointError::Corrupt(format!(
                 "file too short for a header ({} bytes)",
                 bytes.len()
-            )));
-        }
-        if bytes[..8] != MAGIC {
+            ))
+        };
+        let magic: [u8; 8] = header_field(bytes, 0).ok_or_else(too_short)?;
+        if magic != MAGIC {
             return Err(CheckpointError::Corrupt("bad magic".into()));
         }
-        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        let version = u32::from_le_bytes(header_field(bytes, 8).ok_or_else(too_short)?);
         if version != FORMAT_VERSION {
             return Err(CheckpointError::Corrupt(format!(
                 "unsupported format version {} (this build reads {})",
                 version, FORMAT_VERSION
             )));
         }
-        let mut eight = [0u8; 8];
-        eight.copy_from_slice(&bytes[12..20]);
-        let payload_len = u64::from_le_bytes(eight) as usize;
-        eight.copy_from_slice(&bytes[20..28]);
-        let checksum = u64::from_le_bytes(eight);
-        let payload = &bytes[28..];
+        let payload_len =
+            u64::from_le_bytes(header_field(bytes, 12).ok_or_else(too_short)?) as usize;
+        let checksum = u64::from_le_bytes(header_field(bytes, 20).ok_or_else(too_short)?);
+        let payload = bytes.get(28..).ok_or_else(too_short)?;
         if payload.len() != payload_len {
             return Err(CheckpointError::Corrupt(format!(
                 "truncated: header promises {} payload bytes, file has {}",
@@ -283,7 +282,7 @@ impl Checkpoint {
         if d.pos != d.bytes.len() {
             return Err(CheckpointError::Corrupt(format!(
                 "{} trailing bytes after the payload",
-                d.bytes.len() - d.pos
+                d.remaining()
             )));
         }
         Ok(Checkpoint {
@@ -488,6 +487,15 @@ impl Enc {
     }
 }
 
+/// Read a fixed-width header field at `at` without bare indexing: returns
+/// `None` when the file is too short instead of panicking on hostile input.
+fn header_field<const N: usize>(bytes: &[u8], at: usize) -> Option<[u8; N]> {
+    let src = at.checked_add(N).and_then(|end| bytes.get(at..end))?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(src);
+    Some(out)
+}
+
 /// Little-endian binary decoder with bounds checks on every read, so a
 /// payload that passes the checksum but was produced by a different build
 /// still fails loudly instead of over-allocating or panicking.
@@ -496,12 +504,19 @@ struct Dec<'a> {
     pos: usize,
 }
 
-impl Dec<'_> {
-    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], CheckpointError> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
-        match end {
-            Some(end) => {
-                let s = &self.bytes[self.pos..end];
+impl<'a> Dec<'a> {
+    /// Bytes left after the cursor; saturating so even a corrupted cursor
+    /// cannot underflow an error-message computation.
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| Some((self.bytes.get(self.pos..end)?, end)));
+        match slice {
+            Some((s, end)) => {
                 self.pos = end;
                 Ok(s)
             }
@@ -510,12 +525,13 @@ impl Dec<'_> {
                 what,
                 n,
                 self.pos,
-                self.bytes.len() - self.pos
+                self.remaining()
             ))),
         }
     }
     fn u8(&mut self) -> Result<u8, CheckpointError> {
-        Ok(self.take(1, "u8")?[0])
+        let b = self.take(1, "u8")?;
+        Ok(b.first().copied().unwrap_or_default())
     }
     fn u64(&mut self) -> Result<u64, CheckpointError> {
         let mut b = [0u8; 8];
@@ -539,12 +555,12 @@ impl Dec<'_> {
     /// (each element needs at least one byte) to bound allocations.
     fn len(&mut self, what: &str) -> Result<usize, CheckpointError> {
         let n = self.usize()?;
-        if n > self.bytes.len() - self.pos {
+        if n > self.remaining() {
             return Err(CheckpointError::Corrupt(format!(
                 "implausible {} length {} with {} payload bytes left",
                 what,
                 n,
-                self.bytes.len() - self.pos
+                self.remaining()
             )));
         }
         Ok(n)
@@ -558,13 +574,13 @@ impl Dec<'_> {
     fn vec_f32(&mut self) -> Result<Vec<f32>, CheckpointError> {
         let n = self.usize()?;
         if n.checked_mul(4)
-            .filter(|&b| b <= self.bytes.len() - self.pos)
+            .filter(|&b| b <= self.remaining())
             .is_none()
         {
             return Err(CheckpointError::Corrupt(format!(
                 "implausible f32 vector length {} with {} payload bytes left",
                 n,
-                self.bytes.len() - self.pos
+                self.remaining()
             )));
         }
         let mut out = Vec::with_capacity(n);
@@ -584,13 +600,13 @@ impl Dec<'_> {
     fn vec_usize(&mut self) -> Result<Vec<usize>, CheckpointError> {
         let n = self.usize()?;
         if n.checked_mul(8)
-            .filter(|&b| b <= self.bytes.len() - self.pos)
+            .filter(|&b| b <= self.remaining())
             .is_none()
         {
             return Err(CheckpointError::Corrupt(format!(
                 "implausible index vector length {} with {} payload bytes left",
                 n,
-                self.bytes.len() - self.pos
+                self.remaining()
             )));
         }
         let mut out = Vec::with_capacity(n);
@@ -922,6 +938,7 @@ pub fn run_without_checkpoints<T>(
     let mut ckpt = Checkpointer::disabled();
     match body(&mut ckpt) {
         Ok(v) => v,
+        // fedlint::allow(panic-reachability): a disabled Checkpointer does no I/O and offers no resume state, so this error channel cannot fire
         Err(e) => unreachable!("disabled checkpointer reported an error: {}", e),
     }
 }

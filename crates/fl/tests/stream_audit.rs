@@ -1,0 +1,51 @@
+//! Audit of the well-known RNG stream labels. Every engine random decision
+//! derives statelessly from `(seed, stream, round, client)`, so two streams
+//! sharing a value would silently correlate supposedly independent draws
+//! (e.g. dropout mirroring sampling). fedlint's `rng-stream-collision` rule
+//! catches duplicate *constants* statically; this test pins the actual
+//! values so a collision cannot slip in through an unscanned path either.
+
+use fedclust_tensor::rng::streams;
+
+/// Every stream label, in declaration order. Extend when adding a stream.
+const ALL: [(&str, u64); 10] = [
+    ("DATA", streams::DATA),
+    ("PARTITION", streams::PARTITION),
+    ("MODEL_INIT", streams::MODEL_INIT),
+    ("LOCAL_TRAIN", streams::LOCAL_TRAIN),
+    ("SAMPLING", streams::SAMPLING),
+    ("EVAL", streams::EVAL),
+    ("DROPOUT", streams::DROPOUT),
+    ("FAULT_DOWNLINK", streams::FAULT_DOWNLINK),
+    ("FAULT_UPLINK", streams::FAULT_UPLINK),
+    ("FAULT_CORRUPT", streams::FAULT_CORRUPT),
+];
+
+#[test]
+fn stream_values_are_strictly_increasing_and_unique() {
+    for pair in ALL.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert!(
+            a.1 < b.1,
+            "streams::{} ({}) must be strictly below streams::{} ({})",
+            a.0,
+            a.1,
+            b.0,
+            b.1
+        );
+    }
+}
+
+#[test]
+fn stream_values_are_dense_from_one() {
+    // Dense numbering keeps the next free label obvious and makes an
+    // accidental reuse stand out in review.
+    for (i, (name, v)) in ALL.iter().enumerate() {
+        assert_eq!(
+            *v as usize,
+            i + 1,
+            "streams::{} broke dense numbering",
+            name
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Negative fixture: codec and persist code in the blessed shapes — checked
+//! arithmetic, `.get`-based decoding, and the full tmp → fsync → rename
+//! write protocol. Must produce zero findings.
+
+use std::fs::File;
+use std::io::Write;
+
+pub struct Dec {
+    bytes: Vec<u8>,
+    pos: usize,
+}
+
+impl Dec {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.pos.checked_add(n)?;
+        let out = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(out)
+    }
+}
+
+pub fn decode_header(bytes: &[u8]) -> Option<u32> {
+    bytes.first().copied().map(u32::from)
+}
+
+pub fn save_atomic(dir: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join("ckpt.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(data)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, dir.join("ckpt.bin"))?;
+    Ok(())
+}

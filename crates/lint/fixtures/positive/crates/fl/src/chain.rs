@@ -1,0 +1,9 @@
+//! Positive fixture: a public fn that only *transitively* reaches a panic.
+
+pub fn entry(x: Option<u32>) -> u32 {
+    helper(x) // panic-reachability reported at `entry` (line 3), chain entry -> helper
+}
+
+fn helper(x: Option<u32>) -> u32 {
+    x.unwrap() // no-panic-paths @8; also the chain's panic site
+}

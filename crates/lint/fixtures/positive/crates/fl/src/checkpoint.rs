@@ -1,0 +1,28 @@
+//! Positive fixture: codec and atomic-write violations. Exact lines matter.
+
+use std::fs::File;
+use std::io::Write;
+
+pub struct Dec {
+    bytes: Vec<u8>,
+    pos: usize,
+}
+
+impl Dec {
+    fn take(&mut self, n: usize) -> &[u8] {
+        let end = self.pos + n; // codec-checked-arith @13 (unchecked `+`)
+        let out = &self.bytes[self.pos..end]; // codec-checked-arith @14 (bare indexing)
+        self.pos = end;
+        out
+    }
+}
+
+pub fn decode_header(bytes: &[u8]) -> u32 {
+    u32::from(bytes[0]) // codec-checked-arith @21 (bare indexing)
+}
+
+pub fn save_unsynced(path: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?; // atomic-write-discipline @25 (no fsync, no rename)
+    f.write_all(data)?;
+    Ok(())
+}

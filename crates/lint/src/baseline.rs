@@ -1,0 +1,451 @@
+//! The CI ratchet baseline: known findings warn, new findings fail.
+//!
+//! `fedlint --baseline results/lint_baseline.json` classifies every finding
+//! as *baselined* (its `(file, rule, message)` key appears in the committed
+//! baseline — line numbers are deliberately ignored so unrelated edits that
+//! shift code do not invalidate the ratchet) or *new* (everything else).
+//! Under `--deny`, only new findings fail the run, so stricter rules can
+//! land before the whole workspace is burned down, and the baseline can
+//! only shrink. `--update-baseline` rewrites the file from the current
+//! scan, sorted and byte-deterministic: re-running it with no code change
+//! is a no-op, which the self-check test pins.
+//!
+//! The baseline file is JSON with the same finding shape as the report.
+//! Because this crate has no dependencies, parsing is a minimal hand-rolled
+//! recursive-descent JSON reader — it accepts exactly the structure the
+//! renderer writes (plus insignificant whitespace) and rejects everything
+//! else with a positioned error.
+
+use crate::{json_str, Finding, Report};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One baselined finding. `line` is informational only; matching ignores it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line at the time the baseline was written.
+    pub line: u32,
+    /// Rule identifier.
+    pub rule: String,
+    /// Full diagnostic message.
+    pub message: String,
+}
+
+/// A parsed (or freshly built) baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries sorted by `(file, line, rule, message)`.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Every report finding classified against a baseline, in report order.
+pub struct Classified {
+    /// `(finding, baselined)` pairs.
+    pub entries: Vec<(Finding, bool)>,
+}
+
+impl Classified {
+    /// Number of findings covered by the baseline.
+    pub fn baselined(&self) -> usize {
+        self.entries.iter().filter(|(_, b)| *b).count()
+    }
+
+    /// Number of findings NOT covered — these fail `--deny`.
+    pub fn fresh(&self) -> usize {
+        self.entries.len() - self.baselined()
+    }
+}
+
+impl Baseline {
+    /// Snapshot every finding of `report` as the new baseline.
+    pub fn from_report(report: &Report) -> Self {
+        let mut entries: Vec<BaselineEntry> = report
+            .findings
+            .iter()
+            .map(|f| BaselineEntry {
+                file: f.file.clone(),
+                line: f.line,
+                rule: f.rule.to_string(),
+                message: f.message.clone(),
+            })
+            .collect();
+        entries.sort();
+        Baseline { entries }
+    }
+
+    /// Classify `report`'s findings. Matching is multiset-aware: a key that
+    /// appears twice in the baseline covers at most two findings.
+    pub fn classify(&self, report: &Report) -> Classified {
+        let mut budget: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *budget
+                .entry((e.file.as_str(), e.rule.as_str(), e.message.as_str()))
+                .or_insert(0) += 1;
+        }
+        let entries = report
+            .findings
+            .iter()
+            .map(|f| {
+                let key = (f.file.as_str(), f.rule, f.message.as_str());
+                let covered = match budget.get_mut(&key) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        true
+                    }
+                    _ => false,
+                };
+                (f.clone(), covered)
+            })
+            .collect();
+        Classified { entries }
+    }
+
+    /// Render the baseline file (trailing newline included). Byte-identical
+    /// for equal content: entries are sorted and keys are fixed-order.
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort();
+        let mut out = String::from("{\n  \"schema\": 2,\n");
+        out.push_str("  \"findings\": [");
+        for (i, e) in entries.iter().enumerate() {
+            let sep = if i + 1 < entries.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}",
+                json_str(&e.file),
+                e.line,
+                json_str(&e.rule),
+                json_str(&e.message),
+                sep
+            );
+        }
+        out.push_str(if entries.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+
+    /// Parse a baseline file.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = JsonParser {
+            s: text.as_bytes(),
+            pos: 0,
+        }
+        .parse_document()?;
+        let Json::Obj(fields) = value else {
+            return Err("baseline: top level must be an object".to_string());
+        };
+        let findings = fields
+            .iter()
+            .find(|(k, _)| k == "findings")
+            .map(|(_, v)| v)
+            .ok_or("baseline: missing \"findings\" array")?;
+        let Json::Arr(items) = findings else {
+            return Err("baseline: \"findings\" must be an array".to_string());
+        };
+        let mut entries = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let Json::Obj(f) = item else {
+                return Err(format!("baseline: findings[{i}] must be an object"));
+            };
+            let get = |key: &str| f.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            let str_field = |key: &str| match get(key) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("baseline: findings[{i}].{key} must be a string")),
+            };
+            let line = match get("line") {
+                Some(Json::Num(n)) if *n >= 0 => *n as u32,
+                _ => return Err(format!("baseline: findings[{i}].line must be a number")),
+            };
+            entries.push(BaselineEntry {
+                file: str_field("file")?,
+                line,
+                rule: str_field("rule")?,
+                message: str_field("message")?,
+            });
+        }
+        entries.sort();
+        Ok(Baseline { entries })
+    }
+}
+
+/// Minimal JSON value tree — just enough for the baseline schema.
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(i64),
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn peek(&self) -> u8 {
+        self.s.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), b' ' | b'\t' | b'\r' | b'\n') {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.peek() == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline: expected `{}` at byte {}",
+                c as char, self.pos
+            ))
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Json, String> {
+        let v = self.value(0)?;
+        self.ws();
+        if self.pos < self.s.len() {
+            return Err(format!("baseline: trailing data at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > 32 {
+            return Err("baseline: nesting too deep".to_string());
+        }
+        self.ws();
+        match self.peek() {
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.ws();
+                if self.peek() == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let v = self.value(depth + 1)?;
+                    fields.push((key, v));
+                    self.ws();
+                    match self.peek() {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => {
+                            return Err(format!(
+                                "baseline: expected `,` or `}}` at byte {}",
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.peek() == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.ws();
+                    match self.peek() {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => {
+                            return Err(format!(
+                                "baseline: expected `,` or `]` at byte {}",
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'-' | b'0'..=b'9' => {
+                let start = self.pos;
+                if self.peek() == b'-' {
+                    self.pos += 1;
+                }
+                while self.peek().is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(self.s.get(start..self.pos).unwrap_or(&[]))
+                    .map_err(|_| "baseline: bad number".to_string())?;
+                text.parse::<i64>()
+                    .map(Json::Num)
+                    .map_err(|_| format!("baseline: bad number at byte {start}"))
+            }
+            _ => Err(format!(
+                "baseline: unexpected byte {} at {}",
+                self.peek(),
+                self.pos
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != b'"' {
+            return Err(format!("baseline: expected string at byte {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                0 => return Err("baseline: unterminated string".to_string()),
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek();
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "baseline: truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "baseline: bad \\u escape".to_string())?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "baseline: bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!("baseline: unknown escape `\\{}`", other as char))
+                        }
+                    }
+                }
+                _ => {
+                    // Copy one UTF-8 scalar (the input came from a String).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.s.len() && (self.s[self.pos] & 0xc0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(
+                        self.s.get(start..self.pos).unwrap_or(&[]),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &'static str, msg: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: msg.to_string(),
+        }
+    }
+
+    fn report(findings: Vec<Finding>) -> Report {
+        Report {
+            findings,
+            files_scanned: 1,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let r = report(vec![
+            finding(
+                "a.rs",
+                3,
+                "no-panic-paths",
+                "msg with \"quotes\" and \\slashes\\",
+            ),
+            finding("b.rs", 7, "float-eq", "tab\there"),
+        ]);
+        let b = Baseline::from_report(&r);
+        let rendered = b.render();
+        let parsed = Baseline::parse(&rendered).expect("parses");
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.render(),
+            rendered,
+            "render → parse → render must be identity"
+        );
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let b = Baseline::default();
+        let rendered = b.render();
+        let parsed = Baseline::parse(&rendered).expect("parses");
+        assert_eq!(parsed.render(), rendered);
+        assert!(rendered.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn classification_is_line_insensitive_and_multiset_aware() {
+        let baseline = Baseline::from_report(&report(vec![
+            finding("a.rs", 3, "no-panic-paths", "same"),
+            finding("a.rs", 9, "no-panic-paths", "same"),
+        ]));
+        // Lines moved; one extra duplicate appeared; one brand-new finding.
+        let now = report(vec![
+            finding("a.rs", 5, "no-panic-paths", "same"),
+            finding("a.rs", 11, "no-panic-paths", "same"),
+            finding("a.rs", 20, "no-panic-paths", "same"),
+            finding("c.rs", 1, "float-eq", "new"),
+        ]);
+        let c = baseline.classify(&now);
+        assert_eq!(c.baselined(), 2);
+        assert_eq!(c.fresh(), 2);
+        let flags: Vec<bool> = c.entries.iter().map(|(_, b)| *b).collect();
+        assert_eq!(flags, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        for bad in [
+            "",
+            "[]",
+            "{",
+            "{\"findings\": 3}",
+            "{\"findings\": [{\"file\": 1}]}",
+            "{\"schema\": 2}",
+            "{\"findings\": []} trailing",
+        ] {
+            assert!(Baseline::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! The approximate intra-workspace call graph and the global rules built on
+//! it: `panic-reachability` and `rng-stream-collision`.
+//!
+//! Call resolution is identifier-based and deliberately conservative —
+//! anything ambiguous is *ignored* rather than guessed, so the graph
+//! under-approximates real calls and the rules under-report rather than
+//! spray false positives. Three call shapes resolve:
+//!
+//! * `self.method(…)` — to a method of the enclosing `impl` type in the
+//!   same crate (other receivers are invisible to a typeless analysis);
+//! * `path::to::f(…)` / `Type::f(…)` — when the path's qualifier segments
+//!   are a suffix of exactly one candidate's full path
+//!   `[crate, file modules…, inline modules…, impl type]`, with
+//!   `fedclust_<crate>` and `crate`/`self`/`super`/`Self` prefixes
+//!   normalized away;
+//! * bare `f(…)` — to a unique free function: first in the same
+//!   file + module, then unique in the crate, then unique in the workspace.
+//!
+//! Determinism: nodes are numbered in (sorted file, declaration order),
+//! adjacency lists are sorted and deduplicated, and reachability is a BFS
+//! that visits callees in node order — repeated runs produce byte-identical
+//! findings and the reported chain is a shortest one.
+
+use crate::items::{Item, ItemKind};
+use crate::lexer::{TokKind, Token};
+use crate::rules::FileAnalysis;
+use crate::Finding;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Crates whose non-test `pub fn`s must not transitively reach a panic.
+const PANIC_REACH_CRATES: [&str; 5] = ["cluster", "core", "fl", "nn", "tensor"];
+/// Crates where RNG stream consumption is scope-checked.
+const RNG_SCOPE_CRATES: [&str; 2] = ["core", "fl"];
+
+/// Identifiers never treated as a bare call even when followed by `(`:
+/// keywords and the ubiquitous enum constructors.
+const NON_CALLS: [&str; 28] = [
+    "Err", "None", "Ok", "Self", "Some", "as", "async", "await", "box", "break", "const",
+    "continue", "dyn", "else", "fn", "for", "if", "in", "let", "loop", "match", "move", "mut",
+    "ref", "return", "static", "where", "while",
+];
+
+/// One function in the workspace graph.
+struct FnNode {
+    file_idx: usize,
+    /// `[crate, file modules…, inline modules…, impl type?]`.
+    path: Vec<String>,
+    name: String,
+    display: String,
+    file: String,
+    crate_name: String,
+    module: Vec<String>,
+    impl_type: Option<String>,
+    is_pub: bool,
+    is_test: bool,
+    is_bin: bool,
+    decl_line: u32,
+    /// Sorted, deduplicated callee node indices.
+    calls: Vec<usize>,
+    /// Unsuppressed panic sites in this body, sorted by line.
+    panics: Vec<(u32, String)>,
+}
+
+/// Run the cross-file rules over the per-file analyses. Findings are
+/// pragma-filtered here (the driver cannot: it no longer sees the pragmas)
+/// and returned unsorted.
+pub fn global_findings(files: &[FileAnalysis]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let nodes = build_graph(files);
+    panic_reachability(&nodes, &mut out);
+    stream_collisions(files, &mut out);
+    duplicate_derives(files, &mut out);
+    out.retain(|f| {
+        files
+            .iter()
+            .find(|fa| fa.rel_path == f.file)
+            .is_none_or(|fa| !fa.suppressed(f.rule, f.line))
+    });
+    out
+}
+
+/// The in-file module path implied by a file's location under `src/`:
+/// `crates/fl/src/methods/ifca.rs` → `["methods", "ifca"]`.
+fn file_mods(rel: &str) -> Vec<String> {
+    let Some(pos) = rel.find("/src/") else {
+        return Vec::new();
+    };
+    let tail = rel.get(pos + 5..).unwrap_or("");
+    let tail = tail.strip_suffix(".rs").unwrap_or(tail);
+    let mut parts: Vec<String> = tail
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if parts
+        .last()
+        .is_some_and(|s| s == "mod" || s == "lib" || s == "main")
+    {
+        parts.pop();
+    }
+    parts
+}
+
+/// Path-segment equality with the crate-import alias: callers write
+/// `fedclust_tensor::…` for the crate directory `tensor`.
+fn seg_eq(call_seg: &str, cand_seg: &str) -> bool {
+    call_seg == cand_seg || call_seg.strip_prefix("fedclust_") == Some(cand_seg)
+}
+
+fn token_at(code: &[Token], i: usize) -> Option<&Token> {
+    code.get(i)
+}
+
+fn text_at(code: &[Token], i: usize) -> &str {
+    code.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+/// Iterate the token indices of `item`'s body, skipping the bodies of other
+/// `fn` items nested inside it.
+fn body_indices(item: &Item, all_items: &[Item]) -> Vec<usize> {
+    let Some((start, end)) = item.body else {
+        return Vec::new();
+    };
+    let mut skips: Vec<(usize, usize)> = all_items
+        .iter()
+        .filter(|o| o.kind == ItemKind::Fn)
+        .filter_map(|o| o.body)
+        .filter(|&(s, e)| s > start && e < end)
+        .collect();
+    skips.sort_unstable();
+    let mut out = Vec::new();
+    let mut k = start.saturating_add(1);
+    while k < end {
+        if let Some(&(s, e)) = skips.iter().find(|&&(s, e)| s <= k && k <= e) {
+            k = e.saturating_add(1).max(s + 1);
+            continue;
+        }
+        out.push(k);
+        k += 1;
+    }
+    out
+}
+
+fn build_graph(files: &[FileAnalysis]) -> Vec<FnNode> {
+    let mut nodes: Vec<FnNode> = Vec::new();
+    // (file_idx, item_idx) -> node idx, and name -> node idxs for resolution.
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+
+    for (fi, fa) in files.iter().enumerate() {
+        let mods = file_mods(&fa.rel_path);
+        for (ii, item) in fa.items.iter().enumerate() {
+            if item.kind != ItemKind::Fn {
+                continue;
+            }
+            let mut path = vec![fa.crate_name.clone()];
+            path.extend(mods.iter().cloned());
+            path.extend(item.module.iter().cloned());
+            if let Some(t) = &item.impl_type {
+                path.push(t.clone());
+            }
+            let idx = nodes.len();
+            node_of.insert((fi, ii), idx);
+            nodes.push(FnNode {
+                file_idx: fi,
+                path,
+                name: item.name.clone(),
+                display: item.display_name(),
+                file: fa.rel_path.clone(),
+                crate_name: fa.crate_name.clone(),
+                module: item.module.clone(),
+                impl_type: item.impl_type.clone(),
+                is_pub: item.is_pub,
+                is_test: item.is_test,
+                is_bin: fa.is_bin,
+                decl_line: item.decl_line,
+                calls: Vec::new(),
+                panics: Vec::new(),
+            });
+        }
+    }
+    for (idx, node) in nodes.iter().enumerate() {
+        by_name.entry(&node.name).or_default().push(idx);
+    }
+    let by_name: BTreeMap<String, Vec<usize>> = by_name
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+
+    // Second pass: extract calls and panic sites from each body.
+    // (node, callee nodes, panic sites as (line, what)).
+    type NodeEdges = (usize, Vec<usize>, Vec<(u32, String)>);
+    let mut edges: Vec<NodeEdges> = Vec::new();
+    for (fi, fa) in files.iter().enumerate() {
+        for (ii, item) in fa.items.iter().enumerate() {
+            let Some(&me) = node_of.get(&(fi, ii)) else {
+                continue;
+            };
+            let (calls, panics) = scan_body(fa, item, &nodes, &by_name, me);
+            edges.push((me, calls, panics));
+        }
+    }
+    for (me, mut calls, panics) in edges {
+        calls.sort_unstable();
+        calls.dedup();
+        nodes[me].calls = calls;
+        nodes[me].panics = panics;
+    }
+    nodes
+}
+
+/// Extract resolved calls and unsuppressed panic sites from one fn body.
+fn scan_body(
+    fa: &FileAnalysis,
+    item: &Item,
+    nodes: &[FnNode],
+    by_name: &BTreeMap<String, Vec<usize>>,
+    me: usize,
+) -> (Vec<usize>, Vec<(u32, String)>) {
+    let code = &fa.code;
+    let mut calls = Vec::new();
+    let mut panics = Vec::new();
+    let site_suppressed = |line: u32| {
+        fa.suppressed("no-panic-paths", line) || fa.suppressed("panic-reachability", line)
+    };
+    for k in body_indices(item, &fa.items) {
+        let Some(t) = token_at(code, k) else {
+            continue;
+        };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = text_at(code, k + 1);
+        if next == "!" {
+            if matches!(
+                t.text.as_str(),
+                "panic" | "todo" | "unimplemented" | "unreachable"
+            ) && !item.is_test
+                && !site_suppressed(t.line)
+            {
+                panics.push((t.line, format!("`{}!`", t.text)));
+            }
+            continue;
+        }
+        if next != "(" {
+            continue;
+        }
+        let prev = if k == 0 { "" } else { text_at(code, k - 1) };
+        match prev {
+            "." => {
+                if matches!(t.text.as_str(), "unwrap" | "expect") {
+                    if !item.is_test && !site_suppressed(t.line) {
+                        panics.push((t.line, format!("`.{}()`", t.text)));
+                    }
+                } else if k >= 2 && text_at(code, k - 2) == "self" {
+                    // `self.method(…)`: resolve within the enclosing impl.
+                    if let Some(impl_type) = &item.impl_type {
+                        if let Some(cands) = by_name.get(&t.text) {
+                            let hits: Vec<usize> = cands
+                                .iter()
+                                .copied()
+                                .filter(|&c| {
+                                    nodes[c].impl_type.as_deref() == Some(impl_type.as_str())
+                                        && nodes[c].crate_name == nodes[me].crate_name
+                                })
+                                .collect();
+                            match hits.as_slice() {
+                                [one] => calls.push(*one),
+                                many => {
+                                    let same_file: Vec<usize> = many
+                                        .iter()
+                                        .copied()
+                                        .filter(|&c| nodes[c].file_idx == nodes[me].file_idx)
+                                        .collect();
+                                    if let [one] = same_file.as_slice() {
+                                        calls.push(*one);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            "::" => {
+                // Collect the qualifier segments leading into this call.
+                let mut segs: Vec<String> = vec![t.text.clone()];
+                let mut j = k;
+                while j >= 2
+                    && text_at(code, j - 1) == "::"
+                    && token_at(code, j - 2).is_some_and(|p| p.kind == TokKind::Ident)
+                {
+                    segs.insert(0, text_at(code, j - 2).to_string());
+                    j -= 2;
+                }
+                resolve_path(&segs, item, nodes, by_name, me, &mut calls);
+            }
+            "fn" => {}
+            _ => {
+                if NON_CALLS.contains(&t.text.as_str()) {
+                    continue;
+                }
+                resolve_bare(&t.text, nodes, by_name, me, &mut calls);
+            }
+        }
+    }
+    panics.sort_unstable();
+    panics.dedup();
+    (calls, panics)
+}
+
+/// Resolve `a::b::f(…)`: qualifier segments must suffix-match exactly one
+/// candidate's full path.
+fn resolve_path(
+    segs: &[String],
+    item: &Item,
+    nodes: &[FnNode],
+    by_name: &BTreeMap<String, Vec<usize>>,
+    me: usize,
+    calls: &mut Vec<usize>,
+) {
+    let Some((name, qual)) = segs.split_last() else {
+        return;
+    };
+    // Normalize: drop leading `crate`/`self`/`super`, map `Self` to the
+    // enclosing impl type.
+    let mut prefix: Vec<String> = qual.to_vec();
+    while prefix
+        .first()
+        .is_some_and(|s| s == "crate" || s == "self" || s == "super")
+    {
+        prefix.remove(0);
+    }
+    for s in prefix.iter_mut() {
+        if s == "Self" {
+            if let Some(t) = &item.impl_type {
+                *s = t.clone();
+            }
+        }
+    }
+    if prefix.is_empty() {
+        resolve_bare(name, nodes, by_name, me, calls);
+        return;
+    }
+    let Some(cands) = by_name.get(name) else {
+        return;
+    };
+    let hits: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| {
+            let cp = &nodes[c].path;
+            prefix.len() <= cp.len()
+                && prefix
+                    .iter()
+                    .zip(cp.iter().skip(cp.len() - prefix.len()))
+                    .all(|(p, s)| seg_eq(p, s))
+        })
+        .collect();
+    match hits.as_slice() {
+        [one] => calls.push(*one),
+        many => {
+            let same_file: Vec<usize> = many
+                .iter()
+                .copied()
+                .filter(|&c| nodes[c].file_idx == nodes[me].file_idx)
+                .collect();
+            if let [one] = same_file.as_slice() {
+                calls.push(*one);
+            }
+        }
+    }
+}
+
+/// Resolve a bare `f(…)` to a unique free function, same module first.
+fn resolve_bare(
+    name: &str,
+    nodes: &[FnNode],
+    by_name: &BTreeMap<String, Vec<usize>>,
+    me: usize,
+    calls: &mut Vec<usize>,
+) {
+    let Some(cands) = by_name.get(name) else {
+        return;
+    };
+    let free: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| nodes[c].impl_type.is_none())
+        .collect();
+    let local: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&c| nodes[c].file_idx == nodes[me].file_idx && nodes[c].module == nodes[me].module)
+        .collect();
+    if let [one] = local.as_slice() {
+        calls.push(*one);
+        return;
+    }
+    if !local.is_empty() {
+        return;
+    }
+    let in_crate: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&c| nodes[c].crate_name == nodes[me].crate_name)
+        .collect();
+    if let [one] = in_crate.as_slice() {
+        calls.push(*one);
+        return;
+    }
+    if !in_crate.is_empty() {
+        return;
+    }
+    if let [one] = free.as_slice() {
+        calls.push(*one);
+    }
+}
+
+/// `panic-reachability`: BFS from every public library fn; report the
+/// shortest chain to a function containing an unsuppressed panic site.
+fn panic_reachability(nodes: &[FnNode], out: &mut Vec<Finding>) {
+    for (root, node) in nodes.iter().enumerate() {
+        if !node.is_pub
+            || node.is_test
+            || node.is_bin
+            || !PANIC_REACH_CRATES.contains(&node.crate_name.as_str())
+        {
+            continue;
+        }
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        parent.insert(root, root);
+        queue.push_back(root);
+        let mut hit: Option<usize> = None;
+        while let Some(n) = queue.pop_front() {
+            // The root's own sites belong to `no-panic-paths`; a chain needs
+            // at least one call edge.
+            if n != root && !nodes[n].panics.is_empty() {
+                hit = Some(n);
+                break;
+            }
+            for &c in &nodes[n].calls {
+                parent.entry(c).or_insert_with(|| {
+                    queue.push_back(c);
+                    n
+                });
+            }
+        }
+        let Some(target) = hit else {
+            continue;
+        };
+        let mut chain = vec![target];
+        let mut cur = target;
+        while cur != root {
+            cur = parent[&cur];
+            chain.push(cur);
+        }
+        chain.reverse();
+        let names: Vec<&str> = chain.iter().map(|&n| nodes[n].display.as_str()).collect();
+        let (line, what) = &nodes[target].panics[0];
+        out.push(Finding {
+            file: node.file.clone(),
+            line: node.decl_line,
+            rule: "panic-reachability",
+            message: format!(
+                "`pub fn {}` can transitively panic via {}: {} at {}:{}; return a Result, make \
+                 the callee infallible, or pragma the panic site to stop propagation",
+                node.display,
+                names.join(" -> "),
+                what,
+                nodes[target].file,
+                line
+            ),
+        });
+    }
+}
+
+/// `rng-stream-collision` (a): two distinct `streams::` constants sharing a
+/// value anywhere in the workspace.
+fn stream_collisions(files: &[FileAnalysis], out: &mut Vec<Finding>) {
+    struct ConstDef {
+        file: String,
+        line: u32,
+        name: String,
+    }
+    let mut by_value: BTreeMap<u128, Vec<ConstDef>> = BTreeMap::new();
+    for fa in files {
+        for item in &fa.items {
+            if item.kind != ItemKind::Mod || item.name != "streams" {
+                continue;
+            }
+            let idxs = body_indices(item, &fa.items);
+            let mut p = 0usize;
+            while p < idxs.len() {
+                let k = idxs[p];
+                if text_at(&fa.code, k) != "const" {
+                    p += 1;
+                    continue;
+                }
+                let name_tok = token_at(&fa.code, k + 1);
+                let Some(name_tok) = name_tok.filter(|t| t.kind == TokKind::Ident) else {
+                    p += 1;
+                    continue;
+                };
+                // Scan `NAME : type = <int> ;` for the value.
+                let mut q = p + 2;
+                let mut value = None;
+                while q < idxs.len() {
+                    let j = idxs[q];
+                    let tok = token_at(&fa.code, j);
+                    match tok.map(|t| t.text.as_str()).unwrap_or("") {
+                        ";" => break,
+                        "=" => {
+                            if let Some(v) =
+                                token_at(&fa.code, idxs.get(q + 1).copied().unwrap_or(j))
+                                    .filter(|t| t.kind == TokKind::Int)
+                            {
+                                value = parse_int(&v.text);
+                            }
+                            break;
+                        }
+                        _ => q += 1,
+                    }
+                }
+                if let Some(v) = value {
+                    by_value.entry(v).or_default().push(ConstDef {
+                        file: fa.rel_path.clone(),
+                        line: name_tok.line,
+                        name: name_tok.text.clone(),
+                    });
+                }
+                p += 1;
+            }
+        }
+    }
+    for (value, defs) in &by_value {
+        let Some((first, rest)) = defs.split_first() else {
+            continue;
+        };
+        for d in rest {
+            out.push(Finding {
+                file: d.file.clone(),
+                line: d.line,
+                rule: "rng-stream-collision",
+                message: format!(
+                    "`streams::{}` has value {}, colliding with `streams::{}` ({}:{}); stream \
+                     labels must be unique or derived RNG streams overlap",
+                    d.name, value, first.name, first.file, first.line
+                ),
+            });
+        }
+    }
+}
+
+/// Parse an integer literal's text (decimal / hex / octal / binary, with
+/// `_` separators and a type suffix).
+fn parse_int(text: &str) -> Option<u128> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (h, 16)
+    } else if let Some(o) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (o, 8)
+    } else if let Some(b) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (b, 2)
+    } else {
+        (t.as_str(), 10)
+    };
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(digits.len());
+    u128::from_str_radix(digits.get(..end).unwrap_or(""), radix).ok()
+}
+
+/// `rng-stream-collision` (b): within one function in `fl`/`core` library
+/// code, two `derive(…, &[…])` calls consuming a token-identical stream
+/// slice — the same logical stream in the same `(round, client)` scope.
+fn duplicate_derives(files: &[FileAnalysis], out: &mut Vec<Finding>) {
+    for fa in files {
+        if fa.is_bin || !RNG_SCOPE_CRATES.contains(&fa.crate_name.as_str()) {
+            continue;
+        }
+        for item in &fa.items {
+            if item.kind != ItemKind::Fn || item.is_test {
+                continue;
+            }
+            let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+            let idxs = body_indices(item, &fa.items);
+            for (p, &k) in idxs.iter().enumerate() {
+                let Some(t) = token_at(&fa.code, k) else {
+                    continue;
+                };
+                if t.kind != TokKind::Ident || t.text != "derive" || text_at(&fa.code, k + 1) != "("
+                {
+                    continue;
+                }
+                // `#[derive(…)]` attributes are not calls.
+                if k >= 2 && text_at(&fa.code, k - 1) == "[" && text_at(&fa.code, k - 2) == "#" {
+                    continue;
+                }
+                let Some(sig) = derive_signature(&fa.code, &idxs[p..]) else {
+                    continue;
+                };
+                match seen.get(&sig) {
+                    Some(&first) => out.push(Finding {
+                        file: fa.rel_path.clone(),
+                        line: t.line,
+                        rule: "rng-stream-collision",
+                        message: format!(
+                            "`derive` re-consumes stream `[{}]` first consumed at line {} in \
+                             `{}`; one logical stream per (round, client) scope — derive a \
+                             distinct stream or pragma with justification",
+                            sig,
+                            first,
+                            item.display_name()
+                        ),
+                    }),
+                    None => {
+                        seen.insert(sig, t.line);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Token-text signature of the first `&[…]` slice inside a `derive(…)`
+/// call; `idxs` starts at the `derive` token and stays within the body.
+fn derive_signature(code: &[Token], idxs: &[usize]) -> Option<String> {
+    let mut paren = 0i64;
+    let mut p = 1usize; // past `derive`
+    while p < idxs.len() {
+        let k = idxs[p];
+        match text_at(code, k) {
+            "(" => paren += 1,
+            ")" => {
+                paren -= 1;
+                if paren <= 0 {
+                    return None;
+                }
+            }
+            "&" if paren >= 1 && text_at(code, k + 1) == "[" => {
+                let mut depth = 0i64;
+                let mut parts = Vec::new();
+                let mut q = p + 1;
+                while q < idxs.len() {
+                    let j = idxs[q];
+                    match text_at(code, j) {
+                        "[" => {
+                            depth += 1;
+                            if depth > 1 {
+                                parts.push("[".to_string());
+                            }
+                        }
+                        "]" => {
+                            depth -= 1;
+                            if depth <= 0 {
+                                return Some(parts.join(" "));
+                            }
+                            parts.push("]".to_string());
+                        }
+                        other => parts.push(other.to_string()),
+                    }
+                    q += 1;
+                }
+                return None;
+            }
+            _ => {}
+        }
+        p += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_mods_shapes() {
+        assert!(file_mods("crates/fl/src/lib.rs").is_empty());
+        assert_eq!(file_mods("crates/fl/src/engine.rs"), vec!["engine"]);
+        assert_eq!(
+            file_mods("crates/fl/src/methods/ifca.rs"),
+            vec!["methods", "ifca"]
+        );
+        assert_eq!(file_mods("crates/fl/src/methods/mod.rs"), vec!["methods"]);
+    }
+
+    #[test]
+    fn int_literal_parsing() {
+        assert_eq!(parse_int("10"), Some(10));
+        assert_eq!(parse_int("1_000"), Some(1000));
+        assert_eq!(parse_int("0xFFu64"), Some(255));
+        assert_eq!(parse_int("0b1010"), Some(10));
+        assert_eq!(parse_int("7u64"), Some(7));
+        assert_eq!(parse_int("xyz"), None);
+    }
+
+    #[test]
+    fn seg_eq_accepts_crate_alias() {
+        assert!(seg_eq("tensor", "tensor"));
+        assert!(seg_eq("fedclust_tensor", "tensor"));
+        assert!(!seg_eq("fedclust_tensor", "nn"));
+    }
+}

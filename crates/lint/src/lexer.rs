@@ -207,8 +207,13 @@ impl Lexer<'_> {
         self.pos += 1; // the quote
         let c = self.at(0);
         if c == b'\\' {
-            // Escaped char literal: consume to the closing quote on this line.
+            // Escaped char literal: the byte after the backslash is payload
+            // (it may itself be `'` or `\`, as in `'\''` and `'\\'`), then
+            // consume to the closing quote on this line.
             self.pos += 1;
+            if self.pos < self.s.len() && self.at(0) != b'\n' {
+                self.pos += 1;
+            }
             while self.pos < self.s.len() && self.at(0) != b'\'' && self.at(0) != b'\n' {
                 self.pos += 1;
             }
@@ -491,6 +496,61 @@ mod tests {
     fn raw_identifier() {
         let ids = idents("let r#fn = 1;");
         assert_eq!(ids, vec!["let", "fn"]);
+    }
+
+    #[test]
+    fn escaped_quote_and_backslash_char_literals() {
+        // Regression: `'\''` used to terminate at the escaped quote and leak
+        // a stray `'` token that could swallow the next real token.
+        let toks = lex(r"let q = '\''; let b = '\\'; let n = '\n'; done();");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec![r"'\''", r"'\\'", r"'\n'"]);
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["let", "q", "let", "b", "let", "n", "done"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_count_lines() {
+        let src = "/* 1 /* 2 /* 3 unwrap() */ 2 */ 1 */\ncode();";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Comment).count(),
+            1
+        );
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["code"]);
+        assert_eq!(toks.last().map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_hide_inner_fences() {
+        // `"#` inside an `r##"…"##` body must not close the string.
+        let src = "let s = r##\"inner \"# fence panic! \"##; next();";
+        let toks = lex(src);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["r##\"inner \"# fence panic! \"##"]);
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["let", "s", "next"]);
     }
 
     #[test]

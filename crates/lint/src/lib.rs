@@ -12,7 +12,18 @@
 //! Output determinism is part of the contract: files are walked in sorted
 //! order, findings are sorted by `(file, line, rule, message)`, and the JSON
 //! emitter is hand-rolled with sorted keys — repeated runs are byte-identical.
+//!
+//! Scanning is two-pass. Pass one runs the line/token-local rules per file
+//! and records each file's structure ([`rules::FileAnalysis`]: items from
+//! [`items`], tokens, pragmas). Pass two feeds every analysis to
+//! [`callgraph`], which builds the approximate intra-workspace call graph
+//! and runs the cross-file rules (`panic-reachability`,
+//! `rng-stream-collision`). The [`baseline`] module implements the CI
+//! ratchet: baselined findings warn, new findings fail `--deny`.
 
+pub mod baseline;
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
@@ -64,8 +75,8 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
         .collect();
     crate_dirs.sort();
 
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
+    // Pass one: per-file token/line rules plus structure recovery.
+    let mut analyses = Vec::new();
     for crate_dir in &crate_dirs {
         let crate_name = crate_dir
             .file_name()
@@ -85,10 +96,17 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
                 rel_path: &rel,
                 is_bin,
             };
-            findings.extend(rules::scan_source(&ctx, &src));
-            files_scanned += 1;
+            analyses.push(rules::analyze_source(&ctx, &src));
         }
     }
+    let files_scanned = analyses.len();
+
+    // Pass two: the cross-file rules over the whole workspace's structure.
+    let mut findings: Vec<Finding> = analyses
+        .iter_mut()
+        .flat_map(|fa| std::mem::take(&mut fa.findings))
+        .collect();
+    findings.extend(callgraph::global_findings(&analyses));
     findings.sort();
     findings.dedup();
     Ok(Report {
@@ -134,9 +152,25 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 
 /// Render the human-readable report (trailing newline included).
 pub fn render_human(report: &Report) -> String {
+    render_human_with(report, None)
+}
+
+/// Human report with optional baseline classification: baselined findings
+/// are annotated, and the summary splits baselined from new counts.
+pub fn render_human_with(report: &Report, ratchet: Option<&baseline::Classified>) -> String {
     let mut out = String::new();
-    for f in &report.findings {
-        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    let baselined_flags: Option<Vec<bool>> =
+        ratchet.map(|c| c.entries.iter().map(|(_, b)| *b).collect());
+    for (i, f) in report.findings.iter().enumerate() {
+        let mark = match &baselined_flags {
+            Some(flags) if flags.get(i).copied().unwrap_or(false) => " (baselined)",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "{}:{}: [{}] {}{}",
+            f.file, f.line, f.rule, f.message, mark
+        );
     }
     if report.findings.is_empty() {
         let _ = writeln!(
@@ -150,10 +184,15 @@ pub fn render_human(report: &Report) -> String {
             .iter()
             .map(|(rule, n)| format!("{rule}: {n}"))
             .collect();
+        let split = match ratchet {
+            Some(c) => format!(" [{} baselined, {} new]", c.baselined(), c.fresh()),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "fedlint: {} finding(s) in {} files scanned ({})",
+            "fedlint: {} finding(s){} in {} files scanned ({})",
             report.findings.len(),
+            split,
             report.files_scanned,
             per_rule.join(", ")
         );
@@ -164,10 +203,22 @@ pub fn render_human(report: &Report) -> String {
 /// Render the JSON report. Hand-rolled (no serde dependency) with sorted
 /// keys and sorted findings so output is byte-identical across runs.
 pub fn render_json(report: &Report) -> String {
+    render_json_with(report, None)
+}
+
+/// JSON report (schema 2) with optional baseline classification. Without a
+/// baseline every finding counts as new.
+pub fn render_json_with(report: &Report, ratchet: Option<&baseline::Classified>) -> String {
+    let (baselined, fresh) = match ratchet {
+        Some(c) => (c.baselined(), c.fresh()),
+        None => (0, report.findings.len()),
+    };
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(out, "  \"total_findings\": {},", report.findings.len());
+    let _ = writeln!(out, "  \"baselined_findings\": {baselined},");
+    let _ = writeln!(out, "  \"new_findings\": {fresh},");
     out.push_str("  \"counts\": {");
     let counts = report.counts();
     for (i, (rule, n)) in counts.iter().enumerate() {
@@ -205,7 +256,7 @@ pub fn render_json(report: &Report) -> String {
 }
 
 /// Escape a string for JSON output.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

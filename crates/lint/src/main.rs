@@ -1,15 +1,23 @@
 //! `fedlint` CLI: scan the workspace, print a deterministic report, gate CI.
 //!
 //! ```text
-//! fedlint [--deny] [--json] [--root <dir>]
+//! fedlint [--deny] [--json] [--root <dir>] [--baseline <file>] [--update-baseline]
 //! ```
 //!
-//! * `--deny` — exit nonzero if any finding (or malformed pragma) remains.
-//! * `--json` — print the JSON report to stdout and also write it to
-//!   `<root>/results/lint_report.json` for trend tracking.
+//! * `--deny` — exit nonzero if any *new* finding (or malformed pragma)
+//!   remains; with `--baseline`, baselined findings only warn.
+//! * `--json` — print the JSON report (schema 2) to stdout and also write it
+//!   to `<root>/results/lint_report.json` for trend tracking.
+//! * `--baseline <file>` — ratchet file, resolved relative to the workspace
+//!   root; findings whose `(file, rule, message)` appear in it are
+//!   *baselined* (warn), everything else is *new* (fails `--deny`). A
+//!   missing baseline file is treated as empty: every finding is new.
+//! * `--update-baseline` — rewrite the baseline from the current scan,
+//!   sorted and byte-deterministic, then exit successfully.
 //! * `--root` — workspace root; defaults to walking up from the current
 //!   directory until `Cargo.toml` + `crates/` are found.
 
+use lint::baseline::Baseline;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,11 +25,21 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("fedlint: --baseline needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -30,7 +48,10 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: fedlint [--deny] [--json] [--root <dir>]");
+                println!(
+                    "usage: fedlint [--deny] [--json] [--root <dir>] [--baseline <file>] \
+                     [--update-baseline]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -38,6 +59,10 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if update_baseline && baseline_path.is_none() {
+        eprintln!("fedlint: --update-baseline requires --baseline <file>");
+        return ExitCode::from(2);
     }
 
     let root = match root.or_else(|| {
@@ -60,8 +85,56 @@ fn main() -> ExitCode {
         }
     };
 
+    let baseline_file = baseline_path.map(|p| if p.is_absolute() { p } else { root.join(p) });
+
+    if update_baseline {
+        let target = baseline_file.unwrap_or_default();
+        let rendered = Baseline::from_report(&report).render();
+        if let Some(dir) = target.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("fedlint: could not create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&target, rendered.as_bytes()) {
+            eprintln!("fedlint: could not write {}: {e}", target.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "fedlint: baseline updated with {} finding(s) -> {}",
+            report.findings.len(),
+            target.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let classified = match &baseline_file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => Some(b.classify(&report)),
+                Err(e) => {
+                    eprintln!("fedlint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!(
+                    "fedlint: baseline {} not found; treating every finding as new \
+                     (run --update-baseline to create it)",
+                    path.display()
+                );
+                Some(Baseline::default().classify(&report))
+            }
+            Err(e) => {
+                eprintln!("fedlint: could not read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     if json {
-        let rendered = lint::render_json(&report);
+        let rendered = lint::render_json_with(&report, classified.as_ref());
         print!("{rendered}");
         let results_dir = root.join("results");
         let target = results_dir.join("lint_report.json");
@@ -72,10 +145,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     } else {
-        print!("{}", lint::render_human(&report));
+        print!("{}", lint::render_human_with(&report, classified.as_ref()));
     }
 
-    if deny && !report.findings.is_empty() {
+    let failing = match &classified {
+        Some(c) => c.fresh(),
+        None => report.findings.len(),
+    };
+    if deny && failing > 0 {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,8 +1,21 @@
-//! Property tests for the fedlint lexer: arbitrary byte soup must never
-//! panic it, hang it, or make it nondeterministic.
+//! Property tests for the fedlint lexer and item parser: arbitrary byte
+//! soup must never panic them, hang them, or make them nondeterministic,
+//! and parsed item spans must always nest properly.
 
+use lint::items::parse_items;
 use lint::lexer::{lex, TokKind};
 use proptest::prelude::*;
+
+/// Lex `src` and run the item parser the way `analyze_source` does:
+/// comment tokens stripped, every token treated as non-test code.
+fn parse(src: &str) -> Vec<lint::items::Item> {
+    let toks: Vec<_> = lex(src)
+        .into_iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect();
+    let in_test = vec![false; toks.len()];
+    parse_items(&toks, &in_test)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -50,5 +63,48 @@ proptest! {
             .map(|t| t.text)
             .collect();
         prop_assert_eq!(ids, vec!["let".to_string(), "s".to_string()]);
+    }
+
+    /// The item parser survives arbitrary byte soup and is deterministic.
+    #[test]
+    fn item_parser_never_panics_on_byte_soup(bytes in proptest::collection::vec(0u8..=255, 0..2048)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let a = parse(&src);
+        let b = parse(&src);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Structured soup biased toward item-parser-relevant keywords and
+    /// delimiters: unbalanced braces, dangling attributes, half-written
+    /// fn/impl/mod headers. Must never panic, and every item's body span
+    /// must either nest inside or be disjoint from every other's.
+    #[test]
+    fn item_spans_nest_on_structured_soup(picks in proptest::collection::vec(0usize..16, 0..256)) {
+        const PIECES: [&str; 16] = [
+            "fn f", "mod m", "impl T", "{", "}", "(", ")", ";",
+            "#[cfg(test)]", "#[test]", "pub", "for U", "<'a>", "where T:",
+            "x", "\n",
+        ];
+        let src: String = picks
+            .iter()
+            .map(|&i| PIECES.get(i).copied().unwrap_or(""))
+            .map(|p| format!("{} ", p))
+            .collect();
+        let items = parse(&src);
+        for (i, a) in items.iter().enumerate() {
+            let Some((a0, a1)) = a.body else { continue };
+            prop_assert!(a0 <= a1, "inverted span on {:?}", a);
+            for b in items.iter().skip(i + 1) {
+                let Some((b0, b1)) = b.body else { continue };
+                let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+                let disjoint = a1 < b0 || b1 < a0;
+                prop_assert!(
+                    nested || disjoint,
+                    "overlapping item spans: {:?} vs {:?}",
+                    a,
+                    b
+                );
+            }
+        }
     }
 }

@@ -48,6 +48,52 @@ fn positive_fixture_fires_every_rule() {
         vec![4, 10],
         "both the unsafe fn and the unsafe block"
     );
+    // v2 structural rules.
+    assert_eq!(
+        lines_for(&report, "codec-checked-arith", "checkpoint.rs"),
+        vec![13, 14, 21],
+        "unchecked `+` on pos, slice index in Dec::take, bare index in decode_header"
+    );
+    assert_eq!(
+        lines_for(&report, "atomic-write-discipline", "checkpoint.rs"),
+        vec![25],
+        "File::create without sync_all/rename in the same fn"
+    );
+    assert_eq!(
+        lines_for(&report, "panic-reachability", "chain.rs"),
+        vec![3]
+    );
+    assert_eq!(
+        lines_for(&report, "rng-stream-collision", "streams_dup.rs"),
+        vec![6, 11],
+        "duplicate constant value + re-consumed stream slice"
+    );
+}
+
+#[test]
+fn panic_reachability_reports_the_full_call_chain() {
+    let report = scan("positive");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic-reachability")
+        .expect("chain finding present");
+    assert_eq!(f.file, "crates/fl/src/chain.rs");
+    assert_eq!(f.line, 3, "reported at the public root's declaration");
+    assert!(
+        f.message.contains("entry -> helper"),
+        "message must spell out the call chain: {}",
+        f.message
+    );
+    assert!(
+        f.message
+            .contains("`.unwrap()` at crates/fl/src/chain.rs:8"),
+        "message must anchor the panic site: {}",
+        f.message
+    );
+    // The root's own body has no panic site, so no-panic-paths must NOT fire
+    // at line 3 — the two rules partition direct vs transitive panics.
+    assert!(lines_for(&report, "no-panic-paths", "chain.rs") == vec![8]);
 }
 
 #[test]
@@ -58,7 +104,7 @@ fn negative_fixture_is_clean() {
         Vec::new(),
         "negative fixture must scan clean"
     );
-    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.files_scanned, 4);
 }
 
 #[test]

@@ -38,3 +38,27 @@ fn workspace_scan_is_byte_identical_across_runs() {
     assert_eq!(lint::render_human(&a), lint::render_human(&b));
     assert_eq!(lint::render_json(&a), lint::render_json(&b));
 }
+
+/// The committed ratchet baseline must parse, round-trip byte-identically
+/// (so `--update-baseline` never produces diff noise), and classify the
+/// live workspace scan with zero *new* findings — the exact invariant the
+/// `--deny --baseline` CI step enforces.
+#[test]
+fn committed_baseline_round_trips_and_admits_no_new_findings() {
+    let path = workspace_root().join("results").join("lint_baseline.json");
+    let text = std::fs::read_to_string(&path).expect("committed baseline exists");
+    let baseline = lint::baseline::Baseline::parse(&text).expect("baseline parses");
+    assert_eq!(
+        baseline.render(),
+        text,
+        "baseline file must be byte-identical to its own re-render; \
+         regenerate with `fedlint --baseline results/lint_baseline.json --update-baseline`"
+    );
+    let report = lint::scan_workspace(&workspace_root()).expect("workspace scans");
+    let classified = baseline.classify(&report);
+    assert_eq!(
+        classified.fresh(),
+        0,
+        "workspace has findings not in the committed baseline"
+    );
+}

@@ -14,7 +14,7 @@ echo "== lints =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== fedlint =="
-cargo run -q -p lint --release -- --deny
+cargo run -q -p lint --release -- --deny --baseline results/lint_baseline.json
 
 echo "== tests =="
 cargo test -q
