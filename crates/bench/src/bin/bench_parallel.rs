@@ -1,0 +1,110 @@
+//! End-to-end `train_round` throughput: rounds/sec for FedAvg and
+//! FedClust at 1, 2, and 4 worker threads, at the grid's default shape
+//! (`Scale::for_profile`; `FEDCLUST_FAST=1` shrinks it for smoke runs).
+//!
+//! Emits `results/BENCH_parallel.json` so the perf trajectory is
+//! machine-readable across PRs. On a single-core machine the sweep still
+//! runs — the pool degrades gracefully — but no speedup is expected; the
+//! JSON records `available_parallelism` so consumers can tell the two
+//! apart. As a free cross-check, the run asserts that every thread count
+//! produced a bit-identical `RunResult`.
+
+use std::time::Instant;
+
+use fedclust::FedClust;
+use fedclust_bench::runner::results_dir;
+use fedclust_bench::Scale;
+use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
+use fedclust_fl::methods::{FedAvg, FlMethod};
+use serde::Serialize;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[derive(Serialize)]
+struct Sample {
+    method: String,
+    threads: usize,
+    rounds: usize,
+    seconds: f64,
+    rounds_per_sec: f64,
+    /// Throughput relative to the same method at 1 thread.
+    speedup_vs_1: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    /// What the host offers; speedups only materialise when this exceeds 1.
+    available_parallelism: usize,
+    clients: usize,
+    sample_rate: f32,
+    rounds: usize,
+    samples: Vec<Sample>,
+}
+
+fn main() {
+    let seed = 42;
+    let scale = Scale::for_profile(DatasetProfile::FmnistLike, seed);
+    let fd = FederatedDataset::build(
+        DatasetProfile::FmnistLike,
+        Partition::LabelSkew { fraction: 0.2 },
+        &scale.federated,
+    );
+    let methods: Vec<Box<dyn FlMethod>> = vec![Box::new(FedAvg), Box::new(FedClust::default())];
+
+    let mut samples = Vec::new();
+    for method in &methods {
+        let mut baseline_rps = 0.0f64;
+        let mut reference = None;
+        for threads in THREAD_COUNTS {
+            rayon::set_num_threads(threads);
+            let t = Instant::now();
+            let result = method.run(&fd, &scale.fl);
+            let seconds = t.elapsed().as_secs_f64();
+            let rounds_per_sec = scale.fl.rounds as f64 / seconds.max(1e-9);
+            if threads == 1 {
+                baseline_rps = rounds_per_sec;
+            }
+            match &reference {
+                None => reference = Some(result),
+                Some(r) => assert_eq!(
+                    r,
+                    &result,
+                    "{} diverged at {} threads — determinism contract broken",
+                    method.name(),
+                    threads
+                ),
+            }
+            let speedup = rounds_per_sec / baseline_rps.max(1e-9);
+            eprintln!(
+                "[parallel] {} threads={}: {} rounds in {:.2}s ({:.3} rounds/s, {:.2}x vs 1 thread)",
+                method.name(),
+                threads,
+                scale.fl.rounds,
+                seconds,
+                rounds_per_sec,
+                speedup,
+            );
+            samples.push(Sample {
+                method: method.name().to_string(),
+                threads,
+                rounds: scale.fl.rounds,
+                seconds,
+                rounds_per_sec,
+                speedup_vs_1: speedup,
+            });
+        }
+    }
+    rayon::set_num_threads(1);
+
+    let report = BenchReport {
+        available_parallelism: rayon::available_parallelism(),
+        clients: scale.federated.num_clients,
+        sample_rate: scale.fl.sample_rate,
+        rounds: scale.fl.rounds,
+        samples,
+    };
+    let path = results_dir().join("BENCH_parallel.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&path, json).expect("write bench report");
+    eprintln!("[parallel] wrote {}", path.display());
+}

@@ -66,7 +66,9 @@ pub fn all_methods() -> Vec<Box<dyn FlMethod>> {
     methods
 }
 
-fn results_dir() -> PathBuf {
+/// The directory JSON artifacts land in (`results/` unless
+/// `FEDCLUST_RESULTS` overrides it), created on first use.
+pub fn results_dir() -> PathBuf {
     let dir = std::env::var("FEDCLUST_RESULTS").unwrap_or_else(|_| "results".to_string());
     let p = PathBuf::from(dir);
     std::fs::create_dir_all(&p).expect("cannot create results directory");

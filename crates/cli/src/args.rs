@@ -72,6 +72,11 @@ pub struct Args {
     /// Crash-injection: die halfway through the checkpoint write (torn
     /// write), exercising the atomic-rename recovery path.
     pub crash_mid_write: bool,
+    /// Worker threads for parallel client training. `None` defers to
+    /// `FEDCLUST_THREADS` or the machine's available parallelism; `1` is
+    /// the exact-sequential escape hatch (results are bit-identical at
+    /// every thread count regardless).
+    pub threads: Option<usize>,
 }
 
 /// A parse failure with a user-facing message.
@@ -111,6 +116,10 @@ OPTIONS:
   --straggler-delay <F>     mean straggler delay       (default 1.0)
   --deadline <F>            round deadline             (default 1.0)
   --retries <N>             downlink retry budget      (default 2)
+  --threads <N>             worker threads for client training
+                            (default: FEDCLUST_THREADS, else all cores;
+                             1 = exact-sequential escape hatch — results
+                             are bit-identical at any thread count)
   --json                    machine-readable output (run)
 
 CHECKPOINTING (run):
@@ -149,6 +158,7 @@ impl Args {
             resume: false,
             crash_after: None,
             crash_mid_write: false,
+            threads: None,
         }
     }
 
@@ -242,6 +252,7 @@ impl Args {
                     args.crash_after = Some(parse_num(value("--crash-after")?, "--crash-after")?)
                 }
                 "--crash-mid-write" => args.crash_mid_write = true,
+                "--threads" => args.threads = Some(parse_num(value("--threads")?, "--threads")?),
                 other => return Err(ParseError(format!("unknown option '{}'\n{}", other, USAGE))),
             }
         }
@@ -340,8 +351,62 @@ impl Args {
                 "--crash-mid-write requires --crash-after <round>".into(),
             ));
         }
+        if let Some(threads) = self.threads {
+            validate_threads("--threads", &threads.to_string(), threads)?;
+        }
         Ok(())
     }
+
+    /// The thread count this invocation should run with: `--threads` wins,
+    /// then a strictly validated `FEDCLUST_THREADS`, then `None` (let the
+    /// pool default to available parallelism).
+    pub fn effective_threads(&self) -> Result<Option<usize>, ParseError> {
+        if self.threads.is_some() {
+            return Ok(self.threads);
+        }
+        threads_from_env(std::env::var("FEDCLUST_THREADS").ok().as_deref())
+    }
+}
+
+/// Shared range check for thread counts: zero and absurd values are
+/// rejected with the offending source (flag or env var) and value named.
+fn validate_threads(source: &str, raw: &str, threads: usize) -> Result<(), ParseError> {
+    if threads == 0 {
+        return Err(ParseError(format!(
+            "{} must be at least 1, got {} (use 1 for the exact-sequential path)",
+            source, raw
+        )));
+    }
+    if threads > rayon::MAX_THREADS {
+        return Err(ParseError(format!(
+            "{} must be at most {}, got {}",
+            source,
+            rayon::MAX_THREADS,
+            raw
+        )));
+    }
+    Ok(())
+}
+
+/// Strictly validate a `FEDCLUST_THREADS` value from the environment.
+/// (The rayon pool itself parses the variable leniently so library users
+/// are never broken by a stray export; the CLI refuses malformed values
+/// loudly so a typo'd job script cannot silently run sequentially.)
+pub fn threads_from_env(raw: Option<&str>) -> Result<Option<usize>, ParseError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let threads: usize = trimmed.parse().map_err(|_| {
+        ParseError(format!(
+            "invalid value '{}' for FEDCLUST_THREADS; expected a thread count in [1, {}]",
+            raw,
+            rayon::MAX_THREADS
+        ))
+    })?;
+    validate_threads("FEDCLUST_THREADS", trimmed, threads)?;
+    Ok(Some(threads))
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, ParseError> {
@@ -551,6 +616,80 @@ mod tests {
         .unwrap();
         assert_eq!(a.crash_after, Some(3));
         assert!(a.crash_mid_write);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_validates() {
+        // Explicit counts, including the documented exact-sequential
+        // escape hatch `--threads 1`, parse through.
+        let a = parse_run(&["--threads", "4"]).unwrap();
+        assert_eq!(a.threads, Some(4));
+        let a = parse_run(&["--threads", "1"]).unwrap();
+        assert_eq!(a.threads, Some(1));
+        // Unset defers to the environment / pool default.
+        let a = parse_run(&[]).unwrap();
+        assert_eq!(a.threads, None);
+
+        // Zero, absurd, and malformed values are rejected with the flag
+        // and the offending value in the message.
+        let err = parse_run(&["--threads", "0"]).unwrap_err();
+        assert!(
+            err.0.contains("--threads") && err.0.contains('0'),
+            "{}",
+            err
+        );
+        let err = parse_run(&["--threads", "100000"]).unwrap_err();
+        assert!(
+            err.0.contains("--threads") && err.0.contains("100000"),
+            "{}",
+            err
+        );
+        let err = parse_run(&["--threads", "many"]).unwrap_err();
+        assert!(
+            err.0.contains("--threads") && err.0.contains("many"),
+            "{}",
+            err
+        );
+        let err = parse_run(&["--threads", "-2"]).unwrap_err();
+        assert!(
+            err.0.contains("--threads") && err.0.contains("-2"),
+            "{}",
+            err
+        );
+    }
+
+    #[test]
+    fn env_thread_counts_are_strictly_validated() {
+        assert_eq!(threads_from_env(None).unwrap(), None);
+        assert_eq!(threads_from_env(Some("")).unwrap(), None);
+        assert_eq!(threads_from_env(Some("  ")).unwrap(), None);
+        assert_eq!(threads_from_env(Some("4")).unwrap(), Some(4));
+        assert_eq!(threads_from_env(Some(" 2 ")).unwrap(), Some(2));
+
+        let err = threads_from_env(Some("banana")).unwrap_err();
+        assert!(
+            err.0.contains("FEDCLUST_THREADS") && err.0.contains("banana"),
+            "{}",
+            err
+        );
+        let err = threads_from_env(Some("0")).unwrap_err();
+        assert!(
+            err.0.contains("FEDCLUST_THREADS") && err.0.contains('0'),
+            "{}",
+            err
+        );
+        let err = threads_from_env(Some("99999")).unwrap_err();
+        assert!(
+            err.0.contains("FEDCLUST_THREADS") && err.0.contains("99999"),
+            "{}",
+            err
+        );
+        let err = threads_from_env(Some("-3")).unwrap_err();
+        assert!(
+            err.0.contains("FEDCLUST_THREADS") && err.0.contains("-3"),
+            "{}",
+            err
+        );
     }
 
     #[test]

@@ -77,6 +77,13 @@ pub fn parse_partition(spec: &str) -> Option<Partition> {
 
 /// Execute a parsed command; returns the text to print.
 pub fn execute(args: &Args) -> Result<String, String> {
+    // Pin the worker-pool size before any training starts: `--threads`
+    // wins, then a strictly validated `FEDCLUST_THREADS`, else the pool's
+    // own default (available parallelism). Results are bit-identical at
+    // every thread count; this only changes wall-clock.
+    if let Some(threads) = args.effective_threads().map_err(|e| e.to_string())? {
+        rayon::set_num_threads(threads);
+    }
     match &args.command {
         Command::Methods => Ok(format!("available methods: {}", method_names().join(", "))),
         Command::Run { method } => {

@@ -1,0 +1,32 @@
+//! Negative fixture: parallel chains that must produce ZERO
+//! `deterministic-reduction` findings — either they materialise results
+//! in index order before reducing (collect-then-reduce), the reduction
+//! runs sequentially inside a worker's closure, or the chain never
+//! reduces at all.
+
+pub fn collect_then_reduce(xs: &[f32]) -> f32 {
+    let doubled: Vec<f32> = xs.par_iter().map(|x| x * 2.0).collect();
+    doubled.iter().fold(0.0, |a, b| a + b)
+}
+
+pub fn sequential_sum_inside_closure(rows: &[Vec<f32>]) -> Vec<f32> {
+    rows.par_iter().map(|row| row.iter().sum()).collect()
+}
+
+pub fn for_each_never_reduces(out: &mut [f32]) {
+    out.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+        for x in chunk {
+            *x = i as f32;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_reduce_directly() {
+        let v = vec![1.0f32, 2.0];
+        let s: f32 = v.par_iter().map(|x| *x).sum();
+        assert!(s > 2.9);
+    }
+}

@@ -1,0 +1,22 @@
+//! Positive fixture: order-dependent reductions chained directly on
+//! parallel iterators. The rule tests assert exact (rule, line) pairs —
+//! keep line numbers stable when editing.
+
+pub fn unordered_sum(xs: &[f32]) -> f32 {
+    xs.par_iter().map(|x| x * 2.0).sum() // deterministic-reduction @6
+}
+
+pub fn unordered_fold(n: usize) -> f32 {
+    (0..n)
+        .into_par_iter()
+        .map(|i| i as f32)
+        .fold(0.0, |a, b| a + b) // deterministic-reduction @13
+}
+
+pub fn unordered_reduce(xs: &mut [f32]) -> f32 {
+    xs.par_iter_mut().map(|x| *x).reduce(f32::max) // deterministic-reduction @17
+}
+
+pub fn turbofish_sum(xs: &[f32]) -> f32 {
+    xs.par_chunks(4).map(|c| c.len() as f32).sum::<f32>() // deterministic-reduction @21
+}

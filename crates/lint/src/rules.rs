@@ -6,6 +6,7 @@
 //! |------|-----------|
 //! | `unsafe-needs-safety-comment` | every `unsafe` is justified in writing |
 //! | `deterministic-iteration` | no hasher-ordered containers on replayed paths |
+//! | `deterministic-reduction` | no fold-during-iteration on parallel iterators |
 //! | `no-panic-paths` | library code of core crates cannot panic |
 //! | `rng-stream-discipline` | RNG streams derive from named `streams::` labels |
 //! | `float-eq` | no exact float equality without an explicit waiver |
@@ -26,10 +27,11 @@ use crate::lexer::{lex, TokKind, Token};
 use crate::Finding;
 
 /// Rule identifiers, sorted, as accepted by the allow pragma.
-pub const RULE_NAMES: [&str; 9] = [
+pub const RULE_NAMES: [&str; 10] = [
     "atomic-write-discipline",
     "codec-checked-arith",
     "deterministic-iteration",
+    "deterministic-reduction",
     "float-eq",
     "no-panic-paths",
     "panic-reachability",
@@ -131,6 +133,7 @@ pub fn analyze_source(ctx: &FileContext<'_>, src: &str) -> FileAnalysis {
     let mut findings = Vec::new();
     rule_unsafe_safety(ctx, &code, &info, &mut findings);
     rule_deterministic_iteration(ctx, &code, &info, &mut findings);
+    rule_deterministic_reduction(ctx, &code, &info, &mut findings);
     rule_no_panic_paths(ctx, &code, &info, &mut findings);
     rule_rng_stream_discipline(ctx, &code, &info, &mut findings);
     rule_float_eq(ctx, &code, &info, &mut findings);
@@ -408,6 +411,87 @@ fn rule_deterministic_iteration(
                     t.text
                 ),
             );
+        }
+    }
+}
+
+/// The parallel-iterator entry points whose downstream chain the
+/// `deterministic-reduction` rule audits.
+const PAR_ENTRY_POINTS: [&str; 5] = [
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_iter",
+    "par_iter_mut",
+];
+
+/// `deterministic-reduction`: a `.sum()`/`.fold()`/`.reduce()` chained
+/// directly on a `par_iter()`-family call accumulates floats in whatever
+/// order worker threads finish — nondeterministic across thread counts.
+/// Library code must collect into index order first and reduce the
+/// ordered buffer (`collect-then-reduce`); the vendored pool's own `sum`
+/// does exactly that, but fedlint bans the shape so a future swap to real
+/// rayon (tree reduction) cannot silently change bytes.
+fn rule_deterministic_reduction(
+    ctx: &FileContext<'_>,
+    code: &[&Token],
+    info: &LineInfo,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.is_bin {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !PAR_ENTRY_POINTS.contains(&t.text.as_str())
+            || code.get(i + 1).is_none_or(|n| n.text != "(")
+            || LineInfo::get(&info.in_test, t.line)
+        {
+            continue;
+        }
+        // Walk the method chain at the entry point's delimiter depth.
+        // Anything inside `(…)`/`[…]`/`{…}` (closure bodies, arguments) is
+        // deeper and skipped; the chain ends at `;`, `,`, or a delimiter
+        // that closes past the entry depth.
+        let mut depth = 0isize;
+        let mut j = i + 1;
+        while let Some(tok) = code.get(j) {
+            match tok.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                ";" | "," if depth == 0 => break,
+                "." if depth == 0 => {
+                    if let Some(m) = code.get(j + 1) {
+                        if m.kind == TokKind::Ident {
+                            if m.text == "collect" {
+                                break; // ordered materialisation: chain is safe
+                            }
+                            if matches!(m.text.as_str(), "sum" | "fold" | "reduce") {
+                                push(
+                                    ctx,
+                                    out,
+                                    m.line,
+                                    "deterministic-reduction",
+                                    format!(
+                                        "`.{}()` directly on `{}()` accumulates in thread-completion \
+                                         order; collect into index order first, then reduce the \
+                                         ordered buffer (collect-then-reduce)",
+                                        m.text, t.text
+                                    ),
+                                );
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
         }
     }
 }

@@ -38,6 +38,11 @@ fn positive_fixture_fires_every_rule() {
     );
     assert_eq!(lines_for(&report, "rng-stream-discipline", v), vec![28, 29]);
     assert_eq!(lines_for(&report, "float-eq", v), vec![33]);
+    assert_eq!(
+        lines_for(&report, "deterministic-reduction", "par_reduce.rs"),
+        vec![6, 13, 17, 21],
+        "sum, multi-line fold, reduce, turbofish sum — each directly on a par chain"
+    );
     assert_eq!(lines_for(&report, "pragma-syntax", v), vec![37]);
     assert_eq!(
         lines_for(
@@ -104,7 +109,7 @@ fn negative_fixture_is_clean() {
         Vec::new(),
         "negative fixture must scan clean"
     );
-    assert_eq!(report.files_scanned, 4);
+    assert_eq!(report.files_scanned, 5);
 }
 
 #[test]

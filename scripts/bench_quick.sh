@@ -9,3 +9,11 @@ cd "$(dirname "$0")/.."
 
 cargo bench -p fedclust-bench --bench micro -- \
     --warm-up-time 0.5 --measurement-time 1 "$@"
+
+# End-to-end train_round throughput at 1/2/4 worker threads; writes
+# results/BENCH_parallel.json so the perf trajectory is machine-readable.
+# FEDCLUST_FAST=1 keeps the sweep inside the quick-feedback budget (unset
+# FEDCLUST_FAST or export FEDCLUST_FAST=0 and run the bin directly for the
+# full grid shape).
+FEDCLUST_FAST="${FEDCLUST_FAST:-1}" \
+    cargo run -q --release -p fedclust-bench --bin bench_parallel

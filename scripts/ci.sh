@@ -26,5 +26,15 @@ echo "== crash recovery =="
 cargo test -q --test crash_recovery
 scripts/kill_resume_smoke.sh
 
+echo "== thread equivalence =="
+# The suite itself sweeps thread counts inside each test; running the whole
+# binary under two different pool defaults additionally proves the
+# FEDCLUST_THREADS path and that the surrounding harness (checkpoint I/O,
+# fault telemetry) is count-independent too. Includes the pool's
+# panic-propagation tests via the vendored rayon crate.
+FEDCLUST_THREADS=1 cargo test -q --test thread_equivalence
+FEDCLUST_THREADS=4 cargo test -q --test thread_equivalence
+cargo test -q -p rayon
+
 echo "== quick benchmarks =="
 scripts/bench_quick.sh

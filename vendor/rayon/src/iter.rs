@@ -1,0 +1,508 @@
+//! Indexed parallel iterators with an ordered-collection contract.
+//!
+//! Everything here is a thin pipeline over one abstraction: a [`Producer`]
+//! maps a dense index range `0..len` to items, adapters wrap producers,
+//! and the consumers ([`ParIter::collect`], [`ParIter::sum`],
+//! [`ParIter::for_each`]) hand the range to [`crate::pool::run_indexed`].
+//!
+//! The determinism contract: `produce(i)` must depend only on `i` and the
+//! captured inputs — never on thread identity or claim order — and
+//! value-returning consumers write each item into its own index slot, then
+//! assemble the output **in index order** on the calling thread. The
+//! result is therefore byte-identical to the sequential evaluation
+//! `(0..len).map(produce)` at every thread count, which is what lets the
+//! FL engine reduce client updates with no behavioral drift. Consumers
+//! that fold (`sum`) collect first and reduce sequentially in index order
+//! for the same reason — see fedlint's `deterministic-reduction` rule.
+
+use crate::pool::{effective_threads, run_indexed};
+use std::marker::PhantomData;
+use std::sync::Mutex;
+
+/// A random-access source of items over the index range `0..len()`.
+///
+/// Implementations must be pure per index (no claim-order dependence);
+/// `produce(i)` is called at most once per `i` per consumption.
+pub trait Producer: Sync {
+    /// The item type.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Whether the range is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Produce item `i`. Called at most once per index, possibly
+    /// concurrently for distinct indices.
+    fn produce(&self, i: usize) -> Self::Item;
+}
+
+/// The user-facing parallel iterator: a producer plus adapter/consumer
+/// methods. Mirrors the subset of rayon's `ParallelIterator` this
+/// workspace uses.
+pub struct ParIter<P> {
+    producer: P,
+}
+
+impl<P: Producer> ParIter<P> {
+    pub(crate) fn new(producer: P) -> Self {
+        ParIter { producer }
+    }
+
+    /// Number of items this iterator will yield.
+    pub fn len(&self) -> usize {
+        self.producer.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.producer.is_empty()
+    }
+
+    /// Map each item through `f` (applied on the worker that claims the
+    /// item's index).
+    pub fn map<R, F>(self, f: F) -> ParIter<MapProducer<P, F>>
+    where
+        R: Send,
+        F: Fn(P::Item) -> R + Sync,
+    {
+        ParIter::new(MapProducer {
+            base: self.producer,
+            f,
+        })
+    }
+
+    /// Pair each item with its index. Indices are the *logical* positions
+    /// `0..len`, independent of execution order.
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        ParIter::new(EnumerateProducer {
+            base: self.producer,
+        })
+    }
+
+    /// Run `f` on every item in parallel. No result, no ordering
+    /// obligations beyond "every index exactly once".
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Sync,
+    {
+        let p = self.producer;
+        run_indexed(p.len(), |i| f(p.produce(i)));
+    }
+
+    /// Collect into a container in **index order** — item `i` of the
+    /// output is `produce(i)`, regardless of which thread computed it or
+    /// when it finished.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromOrderedParIter<P::Item>,
+    {
+        C::from_ordered_par_iter(self)
+    }
+
+    /// Sum the items deterministically: collect in index order, then fold
+    /// sequentially on the calling thread. Float accumulation order is
+    /// therefore fixed at every thread count.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item>,
+    {
+        let items: Vec<P::Item> = self.collect();
+        items.into_iter().sum()
+    }
+
+    /// Evaluate all items into an index-ordered `Vec` (the common
+    /// consumer; `collect`/`sum` build on it).
+    fn into_ordered_vec(self) -> Vec<P::Item> {
+        let p = self.producer;
+        let n = p.len();
+        if effective_threads(n) <= 1 {
+            // Exact-sequential escape hatch: same index order, no slots.
+            return (0..n).map(|i| p.produce(i)).collect();
+        }
+        let slots: Vec<Mutex<Option<P::Item>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        run_indexed(n, |i| {
+            let item = p.produce(i);
+            if let Ok(mut slot) = slots[i].lock() {
+                *slot = Some(item);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                match s.into_inner() {
+                    Ok(Some(item)) => item,
+                    // Unreachable: run_indexed ran every index or panicked
+                    // (and then we never get here).
+                    _ => unreachable!("parallel collect: index slot left empty"),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Containers that can be built from a parallel iterator with the ordered
+/// contract (output position == item index).
+pub trait FromOrderedParIter<T: Send>: Sized {
+    /// Build the container, preserving index order.
+    fn from_ordered_par_iter<P>(iter: ParIter<P>) -> Self
+    where
+        P: Producer<Item = T>;
+}
+
+impl<T: Send> FromOrderedParIter<T> for Vec<T> {
+    fn from_ordered_par_iter<P>(iter: ParIter<P>) -> Self
+    where
+        P: Producer<Item = T>,
+    {
+        iter.into_ordered_vec()
+    }
+}
+
+/// `map` adapter producer.
+pub struct MapProducer<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn produce(&self, i: usize) -> R {
+        (self.f)(self.base.produce(i))
+    }
+}
+
+/// `enumerate` adapter producer.
+pub struct EnumerateProducer<P> {
+    base: P,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn produce(&self, i: usize) -> (usize, P::Item) {
+        (i, self.base.produce(i))
+    }
+}
+
+/// Shared-slice producer (`par_iter`).
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn produce(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Shared-chunks producer (`par_chunks`).
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn produce(&self, i: usize) -> &'a [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.slice.len());
+        &self.slice[start..end]
+    }
+}
+
+/// Exclusive-element producer (`par_iter_mut`). Distinct indices alias
+/// distinct elements, so handing out `&mut` per index is sound.
+pub struct IterMutProducer<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: each index is produced at most once (Producer contract) and maps
+// to a unique element, so no two threads ever hold an alias.
+unsafe impl<T: Send> Sync for IterMutProducer<'_, T> {}
+
+impl<'a, T: Send> Producer for IterMutProducer<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn produce(&self, i: usize) -> &'a mut T {
+        assert!(i < self.len);
+        // SAFETY: i < len is in bounds of the borrowed slice, and the
+        // at-most-once-per-index contract makes the &mut exclusive.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Exclusive-chunks producer (`par_chunks_mut`). Chunk `i` covers
+/// `[i*size, min((i+1)*size, len))`; chunks are pairwise disjoint.
+pub struct ChunksMutProducer<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunks for distinct indices are disjoint ranges of the borrowed
+// slice and each index is produced at most once.
+unsafe impl<T: Send> Sync for ChunksMutProducer<'_, T> {}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    fn produce(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.len);
+        assert!(start < end || (start == 0 && end == 0));
+        // SAFETY: [start, end) is in bounds and disjoint from every other
+        // chunk; at-most-once-per-index makes the &mut exclusive.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+/// Owned-items producer (`Vec::into_par_iter`). Items are parked in
+/// per-slot mutexes and moved out exactly once.
+pub struct OwnedProducer<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Send> Producer for OwnedProducer<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+    fn produce(&self, i: usize) -> T {
+        match self.slots[i].lock() {
+            Ok(mut slot) => match slot.take() {
+                Some(item) => item,
+                None => unreachable!("owned parallel item {i} produced twice"),
+            },
+            Err(_) => unreachable!("owned parallel slot lock poisoned"),
+        }
+    }
+}
+
+/// Integer-range producer (`(a..b).into_par_iter()`).
+pub struct RangeProducer<T> {
+    start: T,
+    count: usize,
+}
+
+macro_rules! range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.count
+            }
+            fn produce(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeProducer<$t>>;
+            fn into_par_iter(self) -> Self::Iter {
+                let count = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParIter::new(RangeProducer {
+                    start: self.start,
+                    count,
+                })
+            }
+        }
+    )*};
+}
+
+range_producer!(usize, u64, u32, i32, i64);
+
+/// `par_iter()` / `par_chunks()` on slices and `Vec`s.
+pub trait ParallelSlice {
+    /// Element type.
+    type Item;
+
+    /// Parallel shared iteration in index order.
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, Self::Item>>;
+
+    /// Parallel iteration over `size`-element chunks (last may be short).
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, Self::Item>>;
+}
+
+/// Mutable counterpart of [`ParallelSlice`].
+pub trait ParallelSliceMut {
+    /// Element type.
+    type Item;
+
+    /// Parallel exclusive iteration in index order.
+    fn par_iter_mut(&mut self) -> ParIter<IterMutProducer<'_, Self::Item>>;
+
+    /// Parallel iteration over disjoint `size`-element mutable chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, Self::Item>>;
+}
+
+impl<T: Sync> ParallelSlice for [T] {
+    type Item = T;
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        ParIter::new(SliceProducer { slice: self })
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(ChunksProducer { slice: self, size })
+    }
+}
+
+impl<T: Send> ParallelSliceMut for [T] {
+    type Item = T;
+    fn par_iter_mut(&mut self) -> ParIter<IterMutProducer<'_, T>> {
+        ParIter::new(IterMutProducer {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(ChunksMutProducer {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl<T: Sync> ParallelSlice for Vec<T> {
+    type Item = T;
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        self.as_slice().par_iter()
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        self.as_slice().par_chunks(size)
+    }
+}
+
+impl<T: Send> ParallelSliceMut for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&mut self) -> ParIter<IterMutProducer<'_, T>> {
+        self.as_mut_slice().par_iter_mut()
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        self.as_mut_slice().par_chunks_mut(size)
+    }
+}
+
+/// `into_par_iter()` on owned collections and integer ranges.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Convert into an indexed parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<OwnedProducer<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(OwnedProducer {
+            slots: self.into_iter().map(|x| Mutex::new(Some(x))).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::set_num_threads;
+
+    #[test]
+    fn collect_preserves_index_order_at_any_thread_count() {
+        let _g = crate::pool::config_guard();
+        let v: Vec<usize> = (0..200).collect();
+        let expect: Vec<usize> = v.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 4] {
+            set_num_threads(threads);
+            let got: Vec<usize> = v.par_iter().map(|&x| x * 3).collect();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn owned_and_range_sources_match_sequential() {
+        let _g = crate::pool::config_guard();
+        set_num_threads(4);
+        let owned: Vec<String> = vec!["a".to_string(), "bb".into(), "ccc".into()]
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}:{s}"))
+            .collect();
+        assert_eq!(owned, vec!["0:a", "1:bb", "2:ccc"]);
+        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        let _g = crate::pool::config_guard();
+        let xs: Vec<f32> = (0..1000).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        set_num_threads(1);
+        let s1: f32 = xs.par_iter().map(|&x| x).sum();
+        set_num_threads(4);
+        let s4: f32 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s1.to_bits(), s4.to_bits(), "collect-then-reduce is ordered");
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn chunks_mut_cover_disjointly() {
+        let _g = crate::pool::config_guard();
+        set_num_threads(4);
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let _g = crate::pool::config_guard();
+        set_num_threads(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.par_iter_mut().for_each(|x| *x += 1000);
+        assert_eq!(v, (1000..1050).collect::<Vec<_>>());
+        set_num_threads(1);
+    }
+}

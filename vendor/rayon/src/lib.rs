@@ -1,108 +1,48 @@
-//! Offline shim of the `rayon` parallel-iterator API.
+//! Offline, hand-rolled implementation of the `rayon` parallel-iterator
+//! surface this workspace uses — a **real** thread pool, not a sequential
+//! stand-in.
 //!
-//! The build container has no crates.io access and exposes a single CPU, so
-//! this shim maps every `par_*` entry point onto the equivalent sequential
-//! `std` iterator. That keeps the workspace's parallel structure (and its
-//! determinism guarantees) intact at zero cost on this hardware; swapping the
-//! real rayon back in is a one-line change in the workspace manifest.
+//! The build container has no crates.io access, so this crate implements
+//! the needed API on `std::sync` alone: a process-wide injector-queue
+//! worker pool ([`pool`]) executes splittable index jobs, and the iterator
+//! layer ([`iter`]) maps `par_iter` / `into_par_iter` / `par_chunks_mut`
+//! pipelines onto it with an **ordered-collection contract** — output
+//! position `i` always holds the result of input index `i`, whatever
+//! thread computed it. Combined with the workspace's stateless
+//! `(seed, round, client)` RNG streams, every run is bit-identical at any
+//! thread count; `--threads 1` (or `FEDCLUST_THREADS=1`) is the
+//! exact-sequential escape hatch that runs inline with zero pool traffic.
 //!
-//! Because the shim returns ordinary [`Iterator`]s / slices, the full adapter
-//! surface (`map`, `enumerate`, `filter`, `sum`, `collect`, …) is available
-//! exactly as with real rayon's `ParallelIterator`.
+//! Differences from real rayon, by design:
+//! * the adapter surface is the subset the workspace uses (`map`,
+//!   `enumerate`, `for_each`, `collect`, `sum`);
+//! * `sum` is collect-then-reduce in index order (deterministic float
+//!   accumulation) rather than a parallel tree reduction;
+//! * thread count is a mutable global ([`set_num_threads`]) so one
+//!   process can compare counts — which the cross-thread-count
+//!   equivalence suite does.
 
-/// Run two closures "in parallel" (sequentially here) and return both results.
+pub mod iter;
+pub mod pool;
+
+pub use pool::{available_parallelism, current_num_threads, set_num_threads, MAX_THREADS};
+
+/// Run two closures in parallel: `a` on the calling thread while `b` is
+/// offered to the pool (and reclaimed by the caller if no worker is free).
+/// Returns both results; panics on either side propagate after both sides
+/// have quiesced.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
 {
-    (a(), b())
+    pool::run_pair(a, b)
 }
 
 /// The rayon prelude: extension traits providing `par_iter` & friends.
 pub mod prelude {
-    /// `par_iter()` / `par_chunks()` / `par_chunks_mut()` on slices and Vecs.
-    pub trait ParallelSlice {
-        /// Immutable element type.
-        type Item;
-
-        /// Sequential stand-in for `rayon`'s `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
-
-        /// Sequential stand-in for `par_chunks`.
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, Self::Item>;
-    }
-
-    /// Mutable counterpart of [`ParallelSlice`].
-    pub trait ParallelSliceMut {
-        /// Element type.
-        type Item;
-
-        /// Sequential stand-in for `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
-
-        /// Sequential stand-in for `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, Self::Item>;
-    }
-
-    impl<T> ParallelSlice for [T] {
-        type Item = T;
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(size)
-        }
-    }
-
-    impl<T> ParallelSliceMut for [T] {
-        type Item = T;
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(size)
-        }
-    }
-
-    impl<T> ParallelSlice for Vec<T> {
-        type Item = T;
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.as_slice().iter()
-        }
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
-            self.as_slice().chunks(size)
-        }
-    }
-
-    impl<T> ParallelSliceMut for Vec<T> {
-        type Item = T;
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.as_mut_slice().iter_mut()
-        }
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.as_mut_slice().chunks_mut(size)
-        }
-    }
-
-    /// `into_par_iter()` on owned collections and ranges.
-    pub trait IntoParallelIterator {
-        /// Element type.
-        type Item;
-        /// The sequential iterator standing in for the parallel one.
-        type Iter: Iterator<Item = Self::Item>;
-
-        /// Sequential stand-in for `into_par_iter`.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -131,5 +71,12 @@ mod tests {
     fn into_par_iter_on_range() {
         let total: usize = (0..5usize).into_par_iter().map(|i| i * i).sum();
         assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "four".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "four");
     }
 }

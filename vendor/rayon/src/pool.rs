@@ -1,0 +1,444 @@
+//! The worker pool: a global injector queue of splittable index jobs.
+//!
+//! Design (DESIGN.md §9): one process-wide pool of detached workers parked
+//! on a condvar. A parallel call packages its work as a single *splittable
+//! job* — a closure over a dense index range `0..n` plus an atomic
+//! next-index cursor — and enqueues one handle per helper it wants. Every
+//! participant (the submitting thread included) claims indices with
+//! `fetch_add` until the range is drained. Determinism needs no help from
+//! the scheduler: each index is computed by exactly one thread from inputs
+//! that do not depend on thread identity, and consumers that produce values
+//! write them to per-index slots which the caller assembles in index order.
+//!
+//! Structured concurrency is enforced with a closed/inflight protocol: the
+//! job's closure borrows the caller's stack, so before `run_indexed`
+//! returns it sets a CLOSED bit and waits for the participant count to hit
+//! zero. A worker registers (increments the count) strictly before first
+//! touching the closure and never after CLOSED is set, so the borrow can
+//! never dangle. Stale queue handles left behind by an already-finished job
+//! fail registration and are dropped on pop.
+//!
+//! Panics in a job are caught per participant, recorded, and re-raised on
+//! the calling thread after the job is fully quiesced — a panicking client
+//! task propagates like sequential code and cannot deadlock or poison the
+//! pool (workers survive and keep serving other jobs).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard upper bound on configured worker threads; values above this are
+/// absurd for one process and are rejected by the CLI before they get here.
+pub const MAX_THREADS: usize = 256;
+
+/// Thread-count override; 0 means "not set, use the default".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// The CLOSED bit of [`Ticket::state`]; low bits count registered
+/// participants.
+const CLOSED: usize = 1 << (usize::BITS - 1);
+
+/// `std::thread::available_parallelism()` with a 1-core fallback.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The default thread count when [`set_num_threads`] was never called:
+/// `FEDCLUST_THREADS` if set to a valid count (the CLI validates it
+/// strictly and reports malformed values; the library fallback here is
+/// lenient), else the machine's available parallelism.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FEDCLUST_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| (1..=MAX_THREADS).contains(&n))
+            .unwrap_or_else(available_parallelism)
+    })
+}
+
+/// Set the worker-thread count for all subsequent parallel calls. Values
+/// are clamped to `[1, MAX_THREADS]`; `1` is the exact-sequential escape
+/// hatch (parallel calls run inline with no pool traffic). May be called
+/// repeatedly — results are bit-identical at any setting, so switching
+/// thread counts mid-process is safe (the equivalence suite does exactly
+/// that).
+pub fn set_num_threads(n: usize) {
+    CONFIGURED.store(n.clamp(1, MAX_THREADS), Ordering::SeqCst);
+}
+
+/// The currently effective thread count.
+pub fn current_num_threads() -> usize {
+    match CONFIGURED.load(Ordering::SeqCst) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// One splittable job. `run` borrows the caller's stack; the
+/// closed/inflight protocol on `state` bounds its lifetime (see module
+/// docs).
+struct Ticket {
+    /// The job body, lifetime-erased. Only dereferenced between a
+    /// successful [`Ticket::register`] and the matching deregister.
+    run: *const (dyn Fn(usize) + Sync),
+    /// Number of indices in the job.
+    n: usize,
+    /// Next unclaimed index.
+    next: AtomicUsize,
+    /// CLOSED bit + count of participants currently inside `run`.
+    state: AtomicUsize,
+    /// A participant panicked; everyone stops claiming new indices.
+    panicked: AtomicBool,
+    /// First captured panic payload, re-raised by the owner.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Owner parks here until the last participant leaves.
+    quiesce: Mutex<()>,
+    cv: Condvar,
+}
+
+// SAFETY: `run` is only dereferenced by participants that registered
+// before the CLOSED bit was set, and the owning thread does not return
+// (keeping the borrow alive) until CLOSED is set *and* the participant
+// count is zero. All other fields are Sync primitives.
+unsafe impl Send for Ticket {}
+// SAFETY: as above — shared access is mediated by atomics and mutexes.
+unsafe impl Sync for Ticket {}
+
+impl Ticket {
+    /// Erase the job closure's lifetime. Caller (i.e. [`run_indexed`] /
+    /// [`run_pair`]) must uphold the close-before-return protocol.
+    fn new(run: &(dyn Fn(usize) + Sync), n: usize) -> Arc<Ticket> {
+        // SAFETY: transmute only widens the reference's lifetime; the
+        // closed/inflight protocol guarantees no dereference outlives the
+        // true borrow.
+        let run: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(run)
+        };
+        Arc::new(Ticket {
+            run,
+            n,
+            next: AtomicUsize::new(0),
+            state: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            quiesce: Mutex::new(()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Try to become a participant. Fails iff the job is already closed.
+    fn register(&self) -> bool {
+        self.state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| {
+                if s & CLOSED != 0 {
+                    None
+                } else {
+                    Some(s + 1)
+                }
+            })
+            .is_ok()
+    }
+
+    /// Claim-and-run loop. Must only be called after a successful
+    /// [`Ticket::register`]; deregisters on exit and wakes the owner.
+    fn work(&self) {
+        // SAFETY: we are registered, so the owner is still blocked in
+        // `close_and_wait` (or has not reached it) and the closure borrow
+        // is alive.
+        let run = unsafe { &*self.run };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            while !self.panicked.load(Ordering::Relaxed) {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                if i >= self.n {
+                    break;
+                }
+                run(i);
+            }
+        }));
+        if let Err(payload) = result {
+            self.panicked.store(true, Ordering::SeqCst);
+            let mut slot = lock(&self.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.state.fetch_sub(1, Ordering::AcqRel);
+        // Take the quiesce lock before notifying so a wakeup can never
+        // slip between the owner's state check and its wait.
+        let _guard = lock(&self.quiesce);
+        self.cv.notify_all();
+    }
+
+    /// Forbid new participants, then wait until the active ones have left.
+    /// After this returns no thread can touch `run` again.
+    fn close_and_wait(&self) {
+        self.state.fetch_or(CLOSED, Ordering::SeqCst);
+        let mut guard = lock(&self.quiesce);
+        while self.state.load(Ordering::SeqCst) & !CLOSED != 0 {
+            guard = match self.cv.wait(guard) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Re-raise a participant's panic on the calling thread, if any.
+    fn propagate_panic(&self) {
+        let payload = lock(&self.panic).take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+}
+
+/// Mutex lock that shrugs off poisoning: the pool's own critical sections
+/// never panic, and job panics are captured before any lock is held, so a
+/// poisoned mutex still guards consistent data.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The process-wide pool: an injector queue plus lazily spawned workers.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Ticket>>>,
+    available: Condvar,
+    spawned: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+impl Pool {
+    /// Enqueue `helpers` handles to `ticket` and make sure that many
+    /// workers exist to pick them up.
+    fn submit(&'static self, ticket: &Arc<Ticket>, helpers: usize) {
+        self.ensure_workers(helpers);
+        {
+            let mut q = lock(&self.queue);
+            for _ in 0..helpers {
+                q.push_back(Arc::clone(ticket));
+            }
+        }
+        self.available.notify_all();
+    }
+
+    /// Lazily grow the worker set to at least `want` threads (capped).
+    /// Spawn failure degrades gracefully: the submitting thread still
+    /// participates, so progress is guaranteed with zero workers.
+    fn ensure_workers(&'static self, want: usize) {
+        let want = want.min(MAX_THREADS);
+        loop {
+            let cur = self.spawned.load(Ordering::SeqCst);
+            if cur >= want {
+                return;
+            }
+            if self
+                .spawned
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue;
+            }
+            let spawned = std::thread::Builder::new()
+                .name(format!("fedclust-worker-{cur}"))
+                .spawn(move || self.worker_loop());
+            if spawned.is_err() {
+                self.spawned.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+
+    /// Detached worker: pop a ticket, work it if still open, repeat.
+    /// Workers never exit; job panics are contained by [`Ticket::work`].
+    fn worker_loop(&'static self) {
+        loop {
+            let ticket = {
+                let mut q = lock(&self.queue);
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break t;
+                    }
+                    q = match self.available.wait(q) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            };
+            if ticket.register() {
+                ticket.work();
+            }
+            // Stale handle to a finished job: just drop it.
+        }
+    }
+}
+
+/// How many threads a job over `n` indices will actually use.
+pub fn effective_threads(n: usize) -> usize {
+    current_num_threads().min(n.max(1))
+}
+
+/// Run `f(0..n)` with every index executed exactly once, fanning out over
+/// the pool when more than one thread is configured. Blocks until all
+/// indices completed; re-raises the first panic after quiescing. At
+/// `threads == 1` this is exactly `for i in 0..n { f(i) }`.
+pub fn run_indexed<F: Fn(usize) + Sync>(n: usize, f: F) {
+    let threads = effective_threads(n);
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let ticket = Ticket::new(&f, n);
+    pool().submit(&ticket, threads - 1);
+    if ticket.register() {
+        ticket.work();
+    }
+    ticket.close_and_wait();
+    ticket.propagate_panic();
+}
+
+/// Run `a` on the calling thread while offering `b` to the pool (the
+/// caller claims `b` itself if no worker got there first) — the primitive
+/// behind [`crate::join`]. Panics from either side propagate after both
+/// are quiesced.
+pub fn run_pair<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let b_fn = Mutex::new(Some(b));
+    let b_out: Mutex<Option<RB>> = Mutex::new(None);
+    let run_b = |_i: usize| {
+        if let Some(f) = lock(&b_fn).take() {
+            let out = f();
+            *lock(&b_out) = Some(out);
+        }
+    };
+    let ticket = Ticket::new(&run_b, 1);
+    pool().submit(&ticket, 1);
+    // Run `a` inline, but close the ticket before any unwind: the job
+    // closure borrows this frame.
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    if ticket.register() {
+        ticket.work();
+    }
+    ticket.close_and_wait();
+    let ra = match ra {
+        Ok(v) => v,
+        Err(payload) => resume_unwind(payload),
+    };
+    ticket.propagate_panic();
+    let rb = lock(&b_out)
+        .take()
+        .expect("join: side B completed without a result or a panic");
+    (ra, rb)
+}
+
+/// Serialise tests that reconfigure the global thread count.
+#[cfg(test)]
+pub(crate) fn config_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    lock(&GUARD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_each_run_exactly_once_at_any_thread_count() {
+        let _g = config_guard();
+        for threads in [1, 2, 4, 7] {
+            set_num_threads(threads);
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            run_indexed(100, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "threads={threads}"
+            );
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn panic_propagates_without_deadlock_and_pool_survives() {
+        let _g = config_guard();
+        set_num_threads(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(64, |i| {
+                if i == 13 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool still serves jobs afterwards.
+        let count = AtomicUsize::new(0);
+        run_indexed(32, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn run_pair_returns_both_and_propagates_panics() {
+        let _g = config_guard();
+        set_num_threads(2);
+        let (a, b) = run_pair(|| 1 + 1, || "two".len());
+        assert_eq!((a, b), (2, 3));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_pair(|| 0, || panic!("side b"));
+        }));
+        assert!(r.is_err());
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_defaulted() {
+        let _g = config_guard();
+        set_num_threads(0);
+        assert_eq!(current_num_threads(), 1);
+        set_num_threads(MAX_THREADS + 100);
+        assert_eq!(current_num_threads(), MAX_THREADS);
+        set_num_threads(3);
+        assert_eq!(current_num_threads(), 3);
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn nested_jobs_make_progress() {
+        let _g = config_guard();
+        set_num_threads(4);
+        let total = AtomicUsize::new(0);
+        run_indexed(8, |_| {
+            run_indexed(8, |_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 64);
+        set_num_threads(1);
+    }
+}
