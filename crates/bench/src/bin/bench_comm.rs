@@ -1,0 +1,120 @@
+//! Communication-efficiency sweep: wall-clock throughput and wire bytes
+//! per round for FedAvg and FedClust under each upload codec, at the
+//! grid's default shape (`Scale::for_profile`; `FEDCLUST_FAST=1` shrinks
+//! it for smoke runs).
+//!
+//! Emits `results/BENCH_comm.json` so the compression trajectory is
+//! machine-readable across PRs. As a free cross-check the run asserts
+//! every non-identity codec bills strictly fewer bytes than `none` and
+//! that each codec'd run replays bit-identically.
+
+use std::time::Instant;
+
+use fedclust::FedClust;
+use fedclust_bench::runner::results_dir;
+use fedclust_bench::Scale;
+use fedclust_data::{DatasetProfile, FederatedDataset, Partition};
+use fedclust_fl::methods::{FedAvg, FlMethod};
+use fedclust_fl::CodecSpec;
+use serde::Serialize;
+
+const CODECS: [&str; 5] = ["none", "q8", "q4", "topk:0.1", "delta+q8"];
+
+#[derive(Serialize)]
+struct Sample {
+    method: String,
+    codec: String,
+    rounds: usize,
+    seconds: f64,
+    rounds_per_sec: f64,
+    total_mb: f64,
+    bytes_per_round: f64,
+    /// Wire bytes relative to the same method under codec `none`.
+    ratio_vs_none: f64,
+    final_acc: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    clients: usize,
+    sample_rate: f32,
+    rounds: usize,
+    samples: Vec<Sample>,
+}
+
+fn main() {
+    let seed = 42;
+    let scale = Scale::for_profile(DatasetProfile::FmnistLike, seed);
+    let fd = FederatedDataset::build(
+        DatasetProfile::FmnistLike,
+        Partition::LabelSkew { fraction: 0.2 },
+        &scale.federated,
+    );
+    let methods: Vec<Box<dyn FlMethod>> = vec![Box::new(FedAvg), Box::new(FedClust::default())];
+
+    let mut samples = Vec::new();
+    for method in &methods {
+        let mut exact_mb = 0.0f64;
+        for codec in CODECS {
+            let mut cfg = scale.fl;
+            cfg.codec = CodecSpec::parse(codec).expect("codec spec parses");
+            let t = Instant::now();
+            let result = method.run(&fd, &cfg);
+            let seconds = t.elapsed().as_secs_f64();
+            assert_eq!(
+                result,
+                method.run(&fd, &cfg),
+                "{} ({}): replay diverged — determinism contract broken",
+                method.name(),
+                codec
+            );
+            if codec == "none" {
+                exact_mb = result.total_mb;
+            } else {
+                assert!(
+                    result.total_mb < exact_mb,
+                    "{} ({}): compressed bill {} not below exact {}",
+                    method.name(),
+                    codec,
+                    result.total_mb,
+                    exact_mb
+                );
+            }
+            let rounds_per_sec = cfg.rounds as f64 / seconds.max(1e-9);
+            let bytes_per_round = result.total_mb * 1.0e6 / cfg.rounds.max(1) as f64;
+            let ratio = result.total_mb / exact_mb.max(1e-12);
+            eprintln!(
+                "[comm] {} codec={}: {:.3} MB total ({:.0} B/round, {:.2}x vs none), {:.3} rounds/s, acc {:.3}",
+                method.name(),
+                codec,
+                result.total_mb,
+                bytes_per_round,
+                ratio,
+                rounds_per_sec,
+                result.final_acc,
+            );
+            samples.push(Sample {
+                method: method.name().to_string(),
+                codec: codec.to_string(),
+                rounds: cfg.rounds,
+                seconds,
+                rounds_per_sec,
+                total_mb: result.total_mb,
+                bytes_per_round,
+                ratio_vs_none: ratio,
+                final_acc: result.final_acc,
+            });
+        }
+    }
+
+    let report = BenchReport {
+        clients: scale.federated.num_clients,
+        sample_rate: scale.fl.sample_rate,
+        rounds: scale.fl.rounds,
+        samples,
+    };
+    let path = results_dir().join("BENCH_comm.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&path, json).expect("write bench report");
+    eprintln!("[comm] wrote {}", path.display());
+}

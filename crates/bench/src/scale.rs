@@ -60,6 +60,7 @@ impl Scale {
                     seed,
                     dropout_rate: 0.0,
                     faults: fedclust_fl::FaultPlan::none(),
+                    codec: fedclust_fl::CodecSpec::none(),
                 },
             },
             _ => Scale {
@@ -82,6 +83,7 @@ impl Scale {
                     seed,
                     dropout_rate: 0.0,
                     faults: fedclust_fl::FaultPlan::none(),
+                    codec: fedclust_fl::CodecSpec::none(),
                 },
             },
         }

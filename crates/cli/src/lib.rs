@@ -224,6 +224,10 @@ fn build_config(args: &Args) -> FlConfig {
             corruption_rate: args.corrupt_rate,
         }
         .sanitized(),
+        // Validated in `Args::validate`, so a parse failure here can only
+        // mean a caller bypassed parsing; fall back to the identity codec.
+        codec: fedclust_fl::CodecSpec::parse(&args.codec)
+            .unwrap_or_else(|_| fedclust_fl::CodecSpec::none()),
     }
 }
 
@@ -345,6 +349,51 @@ mod tests {
         let out = execute(&args).unwrap();
         assert!(out.contains("final accuracy"), "{}", out);
         assert!(out.contains("faults:"), "{}", out);
+    }
+
+    #[test]
+    fn build_config_threads_the_codec_through() {
+        let args = Args::parse(&[
+            "run".into(),
+            "--method".into(),
+            "fedavg".into(),
+            "--codec".into(),
+            "delta+q8".into(),
+        ])
+        .unwrap();
+        let cfg = build_config(&args);
+        assert_eq!(
+            cfg.codec,
+            fedclust_fl::CodecSpec::parse("delta+q8").unwrap()
+        );
+        let args = Args::parse(&["run".into(), "--method".into(), "fedavg".into()]).unwrap();
+        assert!(build_config(&args).codec.is_none());
+    }
+
+    #[test]
+    fn execute_compressed_run() {
+        let args = Args::parse(&[
+            "run".into(),
+            "--method".into(),
+            "fedavg".into(),
+            "--dataset".into(),
+            "fmnist".into(),
+            "--partition".into(),
+            "skew50".into(),
+            "--clients".into(),
+            "4".into(),
+            "--rounds".into(),
+            "1".into(),
+            "--epochs".into(),
+            "1".into(),
+            "--samples-per-class".into(),
+            "10".into(),
+            "--codec".into(),
+            "topk:0.1".into(),
+        ])
+        .unwrap();
+        let out = execute(&args).unwrap();
+        assert!(out.contains("final accuracy"), "{}", out);
     }
 
     #[test]

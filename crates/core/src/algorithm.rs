@@ -142,7 +142,7 @@ impl FedClust {
                     )));
                 }
             }
-            transport.restore_comm_state(cp.meter, cp.telemetry);
+            transport.restore_comm_state(cp.meter, cp.telemetry, cp.residuals);
             return self.train_clusters(
                 fd,
                 cfg,
@@ -180,8 +180,13 @@ impl FedClust {
         let mut survivors: Vec<usize> = Vec::with_capacity(reached.len());
         let mut partials: Vec<Vec<f32>> = Vec::with_capacity(reached.len());
         for (&client, mut partial) in reached.iter().zip(collected) {
-            if transport.uplink(0, client, upload_len, &mut partial, Some(&init_partial))
-                && transport.screen(&partial, upload_len)
+            if transport.uplink(
+                0,
+                client,
+                &mut partial,
+                Some(&init_partial),
+                Some(&init_partial),
+            ) && transport.screen(&partial, upload_len)
             {
                 survivors.push(client);
                 partials.push(partial);
@@ -260,6 +265,7 @@ impl FedClust {
                     &states,
                 ),
             },
+            residuals: transport.codec_residuals(),
         })?;
 
         self.train_clusters(
@@ -354,6 +360,7 @@ impl FedClust {
                         &states,
                     ),
                 },
+                residuals: transport.codec_residuals(),
             })?;
         }
 

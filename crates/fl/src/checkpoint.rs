@@ -35,8 +35,11 @@ use std::path::{Path, PathBuf};
 /// File magic: identifies a fedclust checkpoint at a glance.
 pub const MAGIC: [u8; 8] = *b"FEDCKPT\n";
 
-/// Current checkpoint format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 added the transport's
+/// per-client codec residuals (top-k error feedback) after the method
+/// state; version-1 images are refused rather than silently resumed with
+/// zeroed residuals, which would break bit-identity.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a checkpoint operation failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +183,10 @@ pub struct Checkpoint {
     pub history: Vec<RoundRecord>,
     /// The method's server state.
     pub state: MethodState,
+    /// The transport's per-client codec error-feedback residuals (top-k
+    /// compression), sorted by client id. Empty for uncompressed runs and
+    /// for codecs without persistent client state.
+    pub residuals: Vec<(usize, Vec<f32>)>,
 }
 
 impl Checkpoint {
@@ -204,6 +211,11 @@ impl Checkpoint {
             payload.f64(r.cum_mb);
         }
         encode_state(&mut payload, &self.state);
+        payload.u64(self.residuals.len() as u64);
+        for (client, res) in &self.residuals {
+            payload.u64(*client as u64);
+            payload.vec_f32(res);
+        }
         let payload = payload.buf;
 
         let mut out = Vec::with_capacity(28 + payload.len());
@@ -279,6 +291,11 @@ impl Checkpoint {
             });
         }
         let state = decode_state(&mut d)?;
+        let n = d.len("codec residuals")?;
+        let mut residuals = Vec::with_capacity(n);
+        for _ in 0..n {
+            residuals.push((d.usize()?, d.vec_f32()?));
+        }
         if d.pos != d.bytes.len() {
             return Err(CheckpointError::Corrupt(format!(
                 "{} trailing bytes after the payload",
@@ -293,6 +310,7 @@ impl Checkpoint {
             telemetry,
             history,
             state,
+            residuals,
         })
     }
 }
@@ -977,6 +995,7 @@ mod tests {
                 },
             ],
             state,
+            residuals: vec![(0, vec![0.25, -0.5]), (3, vec![f32::MIN_POSITIVE])],
         }
     }
 

@@ -55,6 +55,19 @@ impl CommMeter {
         self.uplink_bytes += scalars as f64 * BYTES_PER_SCALAR;
     }
 
+    /// Charge a server→client transfer of `bytes` raw wire bytes —
+    /// encoded-message accounting for compressed downlinks.
+    pub fn down_wire(&mut self, bytes: usize) {
+        self.downlink_bytes += bytes as f64;
+    }
+
+    /// Charge a client→server transfer of `bytes` raw wire bytes —
+    /// encoded-message accounting for compressed uploads (header +
+    /// payload + checksum as serialized, not logical f32 counts).
+    pub fn up_wire(&mut self, bytes: usize) {
+        self.uplink_bytes += bytes as f64;
+    }
+
     /// Total bytes moved in both directions.
     pub fn total_bytes(&self) -> f64 {
         self.downlink_bytes + self.uplink_bytes
@@ -95,6 +108,19 @@ mod tests {
         let m = CommMeter::new();
         assert_eq!(m.total_bytes(), 0.0);
         assert_eq!(m.total_mb(), 0.0);
+    }
+
+    #[test]
+    fn wire_charges_count_raw_bytes() {
+        let mut m = CommMeter::new();
+        m.up_wire(22 + 100);
+        m.down_wire(10);
+        assert_eq!(m.uplink_bytes(), 122.0);
+        assert_eq!(m.downlink_bytes(), 10.0);
+        // A 100-element q8 message is strictly cheaper than 100 scalars.
+        let mut raw = CommMeter::new();
+        raw.up(100);
+        assert!(m.uplink_bytes() < raw.uplink_bytes());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Shared federated-learning experiment configuration.
 
+use crate::codec::CodecSpec;
 use crate::faults::FaultPlan;
 use fedclust_nn::models::ModelSpec;
 use fedclust_nn::optim::SgdConfig;
@@ -43,6 +44,10 @@ pub struct FlConfig {
     /// and update corruption. [`FaultPlan::none()`] (the default) keeps the
     /// run byte-identical to a fault-free engine.
     pub faults: FaultPlan,
+    /// Upload compression codec applied by the transport to every client
+    /// update. [`CodecSpec::none()`] (the default) keeps uploads
+    /// byte-identical to the legacy uncompressed path.
+    pub codec: CodecSpec,
 }
 
 impl Default for FlConfig {
@@ -60,6 +65,7 @@ impl Default for FlConfig {
             seed: 42,
             dropout_rate: 0.0,
             faults: FaultPlan::none(),
+            codec: CodecSpec::none(),
         }
     }
 }
@@ -103,6 +109,7 @@ impl FlConfig {
             seed,
             dropout_rate: 0.0,
             faults: FaultPlan::none(),
+            codec: CodecSpec::none(),
         }
     }
 }

@@ -137,9 +137,11 @@ pub fn train_sampled(
 /// One full faulty round trip for the standard skeleton: broadcast
 /// `start_state` through `transport` (charging every downlink attempt),
 /// train the clients that were actually reached, then push each update
-/// through the uplink + quarantine screen. The returned survivor set may be
-/// empty — aggregate with [`weighted_average_or`] to carry the previous
-/// model forward in that case.
+/// through the uplink codec + fault + quarantine screen. The broadcast
+/// state doubles as the codec's delta reference: clients upload
+/// `w_i − start_state` under delta-coded codecs. The returned survivor set
+/// may be empty — aggregate with [`weighted_average_or`] to carry the
+/// previous model forward in that case.
 #[allow(clippy::too_many_arguments)]
 pub fn train_round(
     fd: &FederatedDataset,
@@ -154,7 +156,7 @@ pub fn train_round(
     let scalars = start_state.len();
     let reached = transport.broadcast(round, sampled, scalars);
     let updates = train_sampled(fd, cfg, template, start_state, &reached, round, prox_mu);
-    transport.receive(round, updates, scalars, Some(start_state))
+    transport.receive(round, updates, Some(start_state), Some(start_state))
 }
 
 /// Weighted average of equal-length state vectors — Eq. 2's cluster (or

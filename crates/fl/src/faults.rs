@@ -39,13 +39,29 @@
 //! exactly the bytes the pre-fault code charged, delivers every payload
 //! untouched, and draws no RNG values, so runs are byte-identical to the
 //! fault-free engine.
+//!
+//! # Upload compression
+//!
+//! The transport also applies the run's [`CodecSpec`] to every upload it
+//! mediates: the payload is encoded against the shared reference state,
+//! the meter is charged the **encoded wire bytes** (header + payload +
+//! checksum), and the server-side aggregation sees the decoded
+//! reconstruction. Codec work happens *before* the fault plan draws the
+//! upload's fate, so loss and corruption act on what actually crossed the
+//! wire, and top-k error-feedback residuals (persistent per-client state,
+//! spilled through checkpoints) advance whether or not the message
+//! survives — the client cannot know. [`CodecSpec::none()`] bypasses all
+//! of it: no header, no transform, no RNG draw, byte-identical to the
+//! uncompressed path.
 
+use crate::codec::{BaseCodec, CodecSpec};
 use crate::comm::CommMeter;
 use crate::config::FlConfig;
 use crate::engine::ClientUpdate;
 use fedclust_tensor::rng::{derive, streams};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Per-run fault model, derived deterministically from
 /// `(seed, round, client)` streams. All probabilities are in `[0, 1]`;
@@ -198,22 +214,44 @@ pub struct Transport {
     plan: FaultPlan,
     seed: u64,
     active: bool,
+    codec: CodecSpec,
+    /// Per-client top-k error-feedback residuals — persistent across
+    /// rounds, serialized into checkpoints, deterministic because every
+    /// upload is encoded on the server thread in client order.
+    residuals: BTreeMap<usize, Vec<f32>>,
     meter: CommMeter,
     telemetry: FaultTelemetry,
 }
 
 impl Transport {
-    /// Transport for one run, with the plan and root seed taken from the
-    /// experiment config.
+    /// Transport for one run, with the plan, codec, and root seed taken
+    /// from the experiment config.
     pub fn new(cfg: &FlConfig) -> Self {
         let plan = cfg.faults.sanitized();
         Transport {
             active: plan.is_active(),
             plan,
             seed: cfg.seed,
+            codec: cfg.codec,
+            residuals: BTreeMap::new(),
             meter: CommMeter::new(),
             telemetry: FaultTelemetry::default(),
         }
+    }
+
+    /// The codec this transport applies to uploads.
+    pub fn codec(&self) -> CodecSpec {
+        self.codec
+    }
+
+    /// The per-client error-feedback residuals, sorted by client — the
+    /// exact shape checkpoints persist so kill-and-resume round-trips
+    /// compression state bit-exactly.
+    pub fn codec_residuals(&self) -> Vec<(usize, Vec<f32>)> {
+        self.residuals
+            .iter()
+            .map(|(client, r)| (*client, r.clone()))
+            .collect()
     }
 
     /// The run's communication meter.
@@ -232,12 +270,19 @@ impl Transport {
         self.telemetry
     }
 
-    /// Reinstall the meter and telemetry captured in a checkpoint, so a
-    /// resumed run's communication and fault accounting continue exactly
-    /// where the interrupted run left off.
-    pub fn restore_comm_state(&mut self, meter: CommMeter, telemetry: FaultTelemetry) {
+    /// Reinstall the meter, telemetry, and codec residuals captured in a
+    /// checkpoint, so a resumed run's communication accounting *and*
+    /// compression state continue exactly where the interrupted run left
+    /// off.
+    pub fn restore_comm_state(
+        &mut self,
+        meter: CommMeter,
+        telemetry: FaultTelemetry,
+        residuals: Vec<(usize, Vec<f32>)>,
+    ) {
         self.meter = meter;
         self.telemetry = telemetry;
+        self.residuals = residuals.into_iter().collect();
     }
 
     /// Send `scalars` values down to each of `clients`, retrying each
@@ -356,18 +401,41 @@ impl Transport {
         }
     }
 
-    /// Upload `payload` (`scalars` values on the wire) from `client`.
-    /// Charges the uplink, may corrupt `payload` in place, and returns
-    /// whether the upload reached the server at all.
+    /// Upload `payload` from `client`. Applies the run's codec against
+    /// `reference` (the state both ends share, e.g. the broadcast model),
+    /// charges the uplink — encoded wire bytes under a codec, the legacy
+    /// 4-bytes-per-scalar count under `none` — replaces `payload` with the
+    /// server-side reconstruction, may corrupt it in place, and returns
+    /// whether the upload reached the server at all. Top-k residuals
+    /// advance here regardless of the upload's fate.
     pub fn uplink(
         &mut self,
         round: usize,
         client: usize,
-        scalars: usize,
-        payload: &mut [f32],
+        payload: &mut Vec<f32>,
+        reference: Option<&[f32]>,
         stale: Option<&[f32]>,
     ) -> bool {
-        self.meter.up(scalars);
+        if self.codec.is_none() {
+            self.meter.up(payload.len());
+        } else {
+            let codec = self.codec;
+            let mut rng = if codec.draws_rng() {
+                Some(derive(
+                    self.seed,
+                    &[streams::CODEC, round as u64, client as u64],
+                ))
+            } else {
+                None
+            };
+            let residual = match codec.base {
+                BaseCodec::TopK(_) => Some(self.residuals.entry(client).or_default()),
+                _ => None,
+            };
+            let enc = codec.encode(payload, reference, residual, rng.as_mut());
+            self.meter.up_wire(enc.wire.len());
+            *payload = enc.decoded;
+        }
         if !self.active {
             return true;
         }
@@ -393,26 +461,28 @@ impl Transport {
         }
     }
 
-    /// The standard skeleton's uplink path: charge, fault, and quarantine
-    /// every [`ClientUpdate`], returning the survivors in input order.
-    /// `stale` is the round's start state (the corruption fallback).
+    /// The standard skeleton's uplink path: encode, charge, fault, and
+    /// quarantine every [`ClientUpdate`], returning the survivors in input
+    /// order. `reference` is the state both ends share (the round's
+    /// broadcast model, the codec's delta base); `stale` is the corruption
+    /// fallback.
     pub fn receive(
         &mut self,
         round: usize,
         updates: Vec<ClientUpdate>,
-        scalars: usize,
+        reference: Option<&[f32]>,
         stale: Option<&[f32]>,
     ) -> Vec<ClientUpdate> {
-        if !self.active {
-            for _ in &updates {
-                self.meter.up(scalars);
+        if !self.active && self.codec.is_none() {
+            for u in &updates {
+                self.meter.up(u.state.len());
             }
             return updates;
         }
         let expected_len = updates.first().map_or(0, |u| u.state.len());
         let mut kept = Vec::with_capacity(updates.len());
         for mut u in updates {
-            if self.uplink(round, u.client, scalars, &mut u.state, stale)
+            if self.uplink(round, u.client, &mut u.state, reference, stale)
                 && self.screen(&u.state, expected_len)
             {
                 kept.push(u);
@@ -447,7 +517,7 @@ mod tests {
         let delivered = t.broadcast(3, &[1, 4, 7], 100);
         assert_eq!(delivered, vec![1, 4, 7]);
         let updates = vec![update(1, vec![1.0, 2.0]), update(4, vec![3.0, 4.0])];
-        let kept = t.receive(3, updates.clone(), 2, None);
+        let kept = t.receive(3, updates.clone(), None, None);
         assert_eq!(kept.len(), 2);
         assert_eq!(kept[0].state, updates[0].state);
         assert_eq!(t.meter().total_bytes(), (3 * 100 + 2 * 2) as f64 * 4.0);
@@ -477,7 +547,12 @@ mod tests {
             ..FaultPlan::none()
         };
         let mut t = Transport::new(&cfg_with(plan, 2));
-        let kept = t.receive(0, vec![update(0, vec![1.0]), update(1, vec![2.0])], 1, None);
+        let kept = t.receive(
+            0,
+            vec![update(0, vec![1.0]), update(1, vec![2.0])],
+            None,
+            None,
+        );
         assert!(kept.is_empty());
         assert_eq!(t.meter().up_mb() * 1e6, 2.0 * 4.0);
         assert_eq!(t.telemetry().uplink_losses, 2);
@@ -491,7 +566,7 @@ mod tests {
         };
         let mut t = Transport::new(&cfg_with(plan, 3));
         let updates: Vec<ClientUpdate> = (0..8).map(|c| update(c, vec![0.5; 50])).collect();
-        let kept = t.receive(0, updates, 50, None);
+        let kept = t.receive(0, updates, None, None);
         // stale fallback is None, so every corruption is NaN/Inf: all
         // corrupted updates must be quarantined.
         assert!(kept.is_empty());
@@ -508,7 +583,7 @@ mod tests {
         let stale = vec![9.0f32; 4];
         let mut t = Transport::new(&cfg_with(plan, 4));
         let updates: Vec<ClientUpdate> = (0..24).map(|c| update(c, vec![0.5; 4])).collect();
-        let kept = t.receive(0, updates, 4, Some(&stale));
+        let kept = t.receive(0, updates, None, Some(&stale));
         // Mode draw is uniform over {NaN, Inf, stale}: some survivors must
         // be stale copies, and every survivor must equal the stale state.
         assert!(!kept.is_empty());
@@ -533,7 +608,7 @@ mod tests {
                 .map(|&c| update(c, vec![c as f32; 20]))
                 .collect();
             let kept: Vec<(usize, Vec<f32>)> = t
-                .receive(1, updates, 20, None)
+                .receive(1, updates, None, None)
                 .into_iter()
                 .map(|u| (u.client, u.state))
                 .collect();
@@ -553,9 +628,88 @@ mod tests {
         };
         let mut t = Transport::new(&cfg_with(plan, 5));
         let updates: Vec<ClientUpdate> = (0..6).map(|c| update(c, vec![1.0])).collect();
-        let kept = t.receive(0, updates, 1, None);
+        let kept = t.receive(0, updates, None, None);
         assert!(kept.is_empty(), "mean delay 100× the deadline drops all");
         assert_eq!(t.telemetry().deadline_misses, 6);
+    }
+
+    fn cfg_with_codec(codec: &str, seed: u64) -> FlConfig {
+        let mut cfg = FlConfig::tiny(seed);
+        cfg.codec = CodecSpec::parse(codec).expect("codec parses");
+        cfg
+    }
+
+    #[test]
+    fn codec_uplink_charges_encoded_wire_bytes() {
+        let mut t = Transport::new(&cfg_with_codec("q8", 0));
+        let mut payload: Vec<f32> = (0..100).map(|i| i as f32 * 0.1).collect();
+        assert!(t.uplink(0, 3, &mut payload, None, None));
+        let expected = t.codec().wire_len(100);
+        assert_eq!(t.meter().uplink_bytes(), expected as f64);
+        assert!(
+            t.meter().uplink_bytes() < 100.0 * 4.0,
+            "q8 must be cheaper than raw f32"
+        );
+        assert_eq!(payload.len(), 100, "server sees the reconstruction");
+    }
+
+    #[test]
+    fn codec_receive_delivers_the_decoded_payload() {
+        let mut t = Transport::new(&cfg_with_codec("delta+q8", 1));
+        let reference = vec![1.0f32; 40];
+        let state: Vec<f32> = (0..40).map(|i| 1.0 + (i as f32) * 0.01).collect();
+        let kept = t.receive(0, vec![update(7, state.clone())], Some(&reference), None);
+        assert_eq!(kept.len(), 1, "no faults: the update survives");
+        let step = (0.39f32 / 255.0) as f64;
+        for (x, d) in state.iter().zip(&kept[0].state) {
+            assert!(
+                ((*x as f64) - (*d as f64)).abs() <= step / 2.0 + 1e-6,
+                "|{} - {}| > half a quantization step",
+                x,
+                d
+            );
+        }
+    }
+
+    #[test]
+    fn codec_residuals_persist_and_restore() {
+        let mut t = Transport::new(&cfg_with_codec("topk:0.25", 2));
+        let mut payload = vec![4.0f32, 0.1, 0.2, 0.3];
+        assert!(t.uplink(0, 5, &mut payload, None, None));
+        let residuals = t.codec_residuals();
+        assert_eq!(residuals.len(), 1);
+        assert_eq!(residuals[0].0, 5);
+        assert_eq!(residuals[0].1, vec![0.0, 0.1, 0.2, 0.3]);
+
+        // A fresh transport restored from the captured state continues
+        // bit-identically.
+        let mut fresh = Transport::new(&cfg_with_codec("topk:0.25", 2));
+        fresh.restore_comm_state(t.meter().clone(), t.telemetry(), residuals);
+        let mut a = vec![0.0f32; 4];
+        let mut b = a.clone();
+        assert!(t.uplink(1, 5, &mut a, None, None));
+        assert!(fresh.uplink(1, 5, &mut b, None, None));
+        assert_eq!(a, b);
+        assert_eq!(t.codec_residuals(), fresh.codec_residuals());
+    }
+
+    #[test]
+    fn codec_composes_with_uplink_faults() {
+        let plan = FaultPlan {
+            uplink_loss: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut cfg = cfg_with_codec("topk:0.5", 3);
+        cfg.faults = plan;
+        let mut t = Transport::new(&cfg);
+        let updates = vec![update(0, vec![1.0, 2.0]), update(1, vec![3.0, 4.0])];
+        let kept = t.receive(0, updates, None, None);
+        assert!(kept.is_empty(), "total uplink loss drops everything");
+        // Lost messages are still charged at their encoded size…
+        let wire = t.codec().wire_len(2);
+        assert_eq!(t.meter().uplink_bytes(), (2 * wire) as f64);
+        // …and the client-side residuals advanced anyway.
+        assert_eq!(t.codec_residuals().len(), 2);
     }
 
     #[test]

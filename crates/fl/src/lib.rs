@@ -7,6 +7,9 @@
 //!   sampling rate, local epochs, optimiser settings, seed),
 //! * [`comm::CommMeter`] — exact byte accounting of every up/down transfer
 //!   (Tables 4 and 5 are derived from this),
+//! * [`codec`] — upload compression plugins (int8/int4 quantization,
+//!   top-k sparsification with error feedback, delta encoding) with
+//!   wire-honest encoded-byte accounting,
 //! * [`faults`] — deterministic fault injection (stragglers, link loss,
 //!   update corruption, process crashes) and the server's resilience
 //!   policy,
@@ -24,6 +27,7 @@
 //! [`methods::FlMethod`] trait.
 
 pub mod checkpoint;
+pub mod codec;
 pub mod comm;
 pub mod config;
 pub mod engine;
@@ -32,6 +36,7 @@ pub mod methods;
 pub mod metrics;
 
 pub use checkpoint::{Checkpoint, CheckpointError, Checkpointer, MethodState};
+pub use codec::{BaseCodec, CodecSpec};
 pub use comm::CommMeter;
 pub use config::FlConfig;
 pub use faults::{CrashPlan, FaultPlan, FaultTelemetry, Transport};

@@ -127,7 +127,7 @@ impl FlMethod for Cfl {
             reference_norm = rn;
             start_round = cp.next_round;
             history = cp.history;
-            transport.restore_comm_state(cp.meter, cp.telemetry);
+            transport.restore_comm_state(cp.meter, cp.telemetry, cp.residuals);
         }
 
         for round in start_round..cfg.rounds {
@@ -232,6 +232,7 @@ impl FlMethod for Cfl {
                     last_update: last_update.clone(),
                     reference_norm,
                 },
+                residuals: transport.codec_residuals(),
             })?;
         }
 

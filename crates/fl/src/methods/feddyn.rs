@@ -141,7 +141,7 @@ impl FlMethod for FedDyn {
             lambdas = ls;
             start_round = cp.next_round;
             history = cp.history;
-            transport.restore_comm_state(cp.meter, cp.telemetry);
+            transport.restore_comm_state(cp.meter, cp.telemetry, cp.residuals);
         }
 
         for round in start_round..cfg.rounds {
@@ -178,7 +178,7 @@ impl FlMethod for FedDyn {
                 // corruption replays the broadcast global state.
                 let mut payload = w;
                 payload.extend_from_slice(&ex);
-                if transport.uplink(round, client, state_len, &mut payload, Some(&state))
+                if transport.uplink(round, client, &mut payload, Some(&state), Some(&state))
                     && transport.screen(&payload, state_len)
                 {
                     let ex = payload[num_params..].to_vec();
@@ -234,6 +234,7 @@ impl FlMethod for FedDyn {
                     h: h.clone(),
                     lambdas: lambdas.clone(),
                 },
+                residuals: transport.codec_residuals(),
             })?;
         }
 

@@ -133,7 +133,7 @@ fn run_global(
         global = state;
         start_round = cp.next_round;
         history = cp.history;
-        transport.restore_comm_state(cp.meter, cp.telemetry);
+        transport.restore_comm_state(cp.meter, cp.telemetry, cp.residuals);
     }
 
     for round in start_round..cfg.rounds {
@@ -174,6 +174,7 @@ fn run_global(
             state: MethodState::Global {
                 state: global.clone(),
             },
+            residuals: transport.codec_residuals(),
         })?;
     }
 

@@ -107,7 +107,7 @@ impl Ifca {
             states = ss;
             start_round = cp.next_round;
             history = cp.history;
-            transport.restore_comm_state(cp.meter, cp.telemetry);
+            transport.restore_comm_state(cp.meter, cp.telemetry, cp.residuals);
         }
 
         for round in start_round..cfg.rounds {
@@ -139,8 +139,13 @@ impl Ifca {
             for (client, ci, mut state, w) in trained {
                 // Stale corruption replays the cluster model the client
                 // started from (still unaggregated at upload time).
-                if transport.uplink(round, client, state_len, &mut state, Some(&states[ci]))
-                    && transport.screen(&state, state_len)
+                if transport.uplink(
+                    round,
+                    client,
+                    &mut state,
+                    Some(&states[ci]),
+                    Some(&states[ci]),
+                ) && transport.screen(&state, state_len)
                 {
                     updates.push((ci, state, w));
                 }
@@ -175,6 +180,7 @@ impl Ifca {
                 state: MethodState::Ifca {
                     states: states.clone(),
                 },
+                residuals: transport.codec_residuals(),
             })?;
         }
 

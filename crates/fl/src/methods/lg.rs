@@ -100,7 +100,7 @@ impl LgFedAvg {
             client_states = cs;
             start_round = cp.next_round;
             history = cp.history;
-            transport.restore_comm_state(cp.meter, cp.telemetry);
+            transport.restore_comm_state(cp.meter, cp.telemetry, cp.residuals);
         }
 
         for round in start_round..cfg.rounds {
@@ -140,8 +140,13 @@ impl LgFedAvg {
             let mut tails: Vec<(Vec<f32>, f32)> = Vec::with_capacity(trained.len());
             for (client, state, w) in trained {
                 let mut tail = state[split..].to_vec();
-                if transport.uplink(round, client, comm_len, &mut tail, Some(&global_part))
-                    && transport.screen(&tail, comm_len)
+                if transport.uplink(
+                    round,
+                    client,
+                    &mut tail,
+                    Some(&global_part),
+                    Some(&global_part),
+                ) && transport.screen(&tail, comm_len)
                 {
                     tails.push((tail, w));
                 }
@@ -170,6 +175,7 @@ impl LgFedAvg {
                     global_part: global_part.clone(),
                     client_states: client_states.clone(),
                 },
+                residuals: transport.codec_residuals(),
             })?;
         }
 

@@ -145,7 +145,7 @@ impl Pacfl {
             states = ss;
             start_round = cp.next_round;
             history = cp.history;
-            transport.restore_comm_state(cp.meter, cp.telemetry);
+            transport.restore_comm_state(cp.meter, cp.telemetry, cp.residuals);
         } else {
             // One-shot clustering before federation. The basis exchange is a
             // reliable pre-federation step (PACFL assumes it), charged directly.
@@ -212,6 +212,7 @@ impl Pacfl {
                     states: states.clone(),
                     labels: labels.clone(),
                 },
+                residuals: transport.codec_residuals(),
             })?;
         }
 

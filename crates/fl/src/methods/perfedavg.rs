@@ -177,7 +177,7 @@ impl PerFedAvg {
             global = state;
             start_round = cp.next_round;
             history = cp.history;
-            transport.restore_comm_state(cp.meter, cp.telemetry);
+            transport.restore_comm_state(cp.meter, cp.telemetry, cp.residuals);
         }
 
         for round in start_round..cfg.rounds {
@@ -199,7 +199,7 @@ impl PerFedAvg {
                 .collect();
             let mut updates: Vec<(Vec<f32>, f32)> = Vec::with_capacity(trained.len());
             for (client, mut state, w) in trained {
-                if transport.uplink(round, client, state_len, &mut state, Some(&global))
+                if transport.uplink(round, client, &mut state, Some(&global), Some(&global))
                     && transport.screen(&state, state_len)
                 {
                     updates.push((state, w));
@@ -228,6 +228,7 @@ impl PerFedAvg {
                 state: MethodState::Global {
                     state: global.clone(),
                 },
+                residuals: transport.codec_residuals(),
             })?;
         }
 

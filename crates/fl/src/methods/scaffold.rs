@@ -166,7 +166,7 @@ impl FlMethod for Scaffold {
             c_clients = cc;
             start_round = cp.next_round;
             history = cp.history;
-            transport.restore_comm_state(cp.meter, cp.telemetry);
+            transport.restore_comm_state(cp.meter, cp.telemetry, cp.residuals);
         }
 
         for round in start_round..cfg.rounds {
@@ -199,8 +199,9 @@ impl FlMethod for Scaffold {
                 payload.extend_from_slice(&o.extra_state);
                 payload.extend_from_slice(&o.delta_c);
                 // Deltas have no meaningful stale fallback: corruption is
-                // NaN/Inf and therefore always quarantined.
-                if transport.uplink(round, o.client, wire_len, &mut payload, None)
+                // NaN/Inf and therefore always quarantined. The payload is
+                // already a delta, so no codec reference applies either.
+                if transport.uplink(round, o.client, &mut payload, None, None)
                     && transport.screen(&payload, wire_len)
                 {
                     o.delta_w.copy_from_slice(&payload[..num_params]);
@@ -260,6 +261,7 @@ impl FlMethod for Scaffold {
                     c_global: c_global.clone(),
                     c_clients: c_clients.clone(),
                 },
+                residuals: transport.codec_residuals(),
             })?;
         }
 

@@ -1,6 +1,7 @@
 //! Property-based tests of the FL engine's deterministic machinery and the
 //! fault-injection layer.
 
+use fedclust_fl::codec::{self, CodecSpec, WIRE_CHECKSUM_BYTES, WIRE_HEADER_BYTES};
 use fedclust_fl::engine::{
     init_model, sample_clients, train_round, train_sampled, weighted_average, ClientUpdate,
 };
@@ -158,7 +159,7 @@ proptest! {
                 ClientUpdate { client: i, state, weight: 1.0, steps: 1 }
             })
             .collect();
-        let kept = t.receive(0, updates, 6, None);
+        let kept = t.receive(0, updates, None, None);
         let expect: Vec<usize> = mask
             .iter()
             .enumerate()
@@ -219,5 +220,137 @@ proptest! {
 
         prop_assert_eq!(manual, transported);
         prop_assert_eq!(t.telemetry(), fedclust_fl::FaultTelemetry::default());
+    }
+}
+
+/// Every deterministic non-identity codec the CLI grammar can produce,
+/// drawn by index so case selection stays reproducible.
+fn any_codec() -> impl Strategy<Value = CodecSpec> {
+    (0usize..8).prop_map(|i| {
+        let specs = [
+            "q8",
+            "q4",
+            "topk:0.3",
+            "topk:0.01",
+            "topk:1.0",
+            "delta",
+            "delta+q8",
+            "delta+q4",
+        ];
+        CodecSpec::parse(specs[i]).expect("fixed specs parse")
+    })
+}
+
+/// Seal an arbitrary body with a valid trailing FNV-1a checksum, the way
+/// the documented wire format specifies — so hostile messages reach the
+/// structural checks behind the checksum gate.
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &body {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    body.extend_from_slice(&h.to_le_bytes());
+    body
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Encoding is total over arbitrary f32 bit patterns — NaNs,
+    /// infinities, subnormals included — and decoding the produced wire
+    /// reproduces the encoder's own server-side view bit for bit.
+    #[test]
+    fn codec_round_trip_is_total_on_arbitrary_bit_patterns(
+        bits in proptest::collection::vec(0u32..=u32::MAX, 0..32),
+        spec in any_codec(),
+        with_reference in 0u32..2,
+    ) {
+        let payload: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let reference = (with_reference == 1)
+            .then(|| payload.iter().map(|v| v * 0.5).collect::<Vec<f32>>());
+        let r = reference.as_deref();
+        let mut residual = vec![0.0f32; payload.len()];
+        let enc = spec.encode(&payload, r, Some(&mut residual), None);
+        prop_assert_eq!(enc.wire.len(), spec.wire_len(payload.len()));
+        prop_assert_eq!(enc.decoded.len(), payload.len());
+        prop_assert_eq!(residual.len(), payload.len());
+        let dec = codec::decode(&enc.wire, r).expect("the encoder's wire must decode");
+        prop_assert_eq!(dec.len(), enc.decoded.len());
+        for (a, b) in dec.iter().zip(&enc.decoded) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "decode drifted from the encoder");
+        }
+    }
+
+    /// The decoder is total on checksum-valid but otherwise arbitrary
+    /// bytes: any outcome is `Ok` or a typed error, never a panic.
+    #[test]
+    fn decoder_is_total_on_checksum_valid_garbage(
+        body in proptest::collection::vec(0u8..=255u8, 0..64),
+        reference in proptest::collection::vec(-1.0f32..1.0, 0..8),
+    ) {
+        let msg = seal(body.clone());
+        let _ = codec::decode(&msg, None);
+        let _ = codec::decode(&msg, Some(&reference));
+        let _ = codec::decode_kept_indices(&msg);
+        // Unsealed garbage (checksum almost surely wrong) as well.
+        let _ = codec::decode(&body, None);
+    }
+
+    /// Same totality with a well-formed header over hostile fields, which
+    /// reaches past the tag dispatch into every payload validator: length
+    /// mismatches, inflated sparse counts, out-of-range indices. When a
+    /// message does decode, its length matches the header's claim.
+    #[test]
+    fn decoder_is_total_on_hostile_structured_headers(
+        tag in 0u8..=4,
+        flags in 0u8..=3,
+        n in 0u32..=u32::MAX,
+        p0 in 0u32..=u32::MAX,
+        p1 in 0u32..=u32::MAX,
+        payload in proptest::collection::vec(0u8..=255u8, 0..48),
+        reference in proptest::collection::vec(-1.0f32..1.0, 0..12),
+    ) {
+        let mut body = Vec::with_capacity(WIRE_HEADER_BYTES + payload.len());
+        body.push(tag);
+        body.push(flags);
+        body.extend_from_slice(&n.to_le_bytes());
+        body.extend_from_slice(&p0.to_le_bytes());
+        body.extend_from_slice(&p1.to_le_bytes());
+        body.extend_from_slice(&payload);
+        let msg = seal(body);
+        for r in [None, Some(reference.as_slice())] {
+            if let Ok(decoded) = codec::decode(&msg, r) {
+                prop_assert_eq!(decoded.len(), n as usize);
+            }
+        }
+        let _ = codec::decode_kept_indices(&msg);
+    }
+
+    /// Quantize ∘ dequantize ∘ quantize = quantize: re-encoding a decoded
+    /// q8/q4 tensor reproduces the exact same code stream, and the decoded
+    /// values are a fixed point up to the one-ulp re-rounding of the
+    /// stored f32 grid parameters.
+    #[test]
+    fn quantization_is_idempotent_on_the_code_stream(
+        mut payload in proptest::collection::vec(-8.0f32..8.0, 0..40),
+        which in 0u32..4,
+    ) {
+        // Pin the value range so the re-derived grid is well-conditioned:
+        // with the span fixed at [-8, 8] the scale stays far enough from
+        // zero that re-rounding the stored parameters cannot move a code.
+        payload.push(-8.0);
+        payload.push(8.0);
+        let spec = CodecSpec::parse(["q8", "q4", "delta+q8", "delta+q4"][which as usize])
+            .expect("fixed specs parse");
+        let reference = vec![0.0f32; payload.len()];
+        let r = spec.delta.then_some(reference.as_slice());
+        let once = spec.encode(&payload, r, None, None);
+        let twice = spec.encode(&once.decoded, r, None, None);
+        let codes = |w: &[u8]| w[WIRE_HEADER_BYTES..w.len() - WIRE_CHECKSUM_BYTES].to_vec();
+        prop_assert_eq!(codes(&once.wire), codes(&twice.wire), "code stream moved");
+        for (a, b) in once.decoded.iter().zip(&twice.decoded) {
+            prop_assert!((a - b).abs() <= 1e-3, "fixed point drifted: {} vs {}", a, b);
+        }
     }
 }

@@ -8,7 +8,7 @@
 use fedclust_tensor::rng::streams;
 
 /// Every stream label, in declaration order. Extend when adding a stream.
-const ALL: [(&str, u64); 10] = [
+const ALL: [(&str, u64); 11] = [
     ("DATA", streams::DATA),
     ("PARTITION", streams::PARTITION),
     ("MODEL_INIT", streams::MODEL_INIT),
@@ -19,6 +19,7 @@ const ALL: [(&str, u64); 10] = [
     ("FAULT_DOWNLINK", streams::FAULT_DOWNLINK),
     ("FAULT_UPLINK", streams::FAULT_UPLINK),
     ("FAULT_CORRUPT", streams::FAULT_CORRUPT),
+    ("CODEC", streams::CODEC),
 ];
 
 #[test]

@@ -1,0 +1,19 @@
+//! Negative fixture: a wire-codec decode path that survives hostile
+//! lengths — every size is checked, every access bounds-checked.
+
+pub enum CodecError {
+    Truncated,
+}
+
+pub fn decode_frame(bytes: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
+    let total = n.checked_mul(4).ok_or(CodecError::Truncated)?;
+    let payload = bytes.get(..total).ok_or(CodecError::Truncated)?;
+    Ok(payload
+        .chunks_exact(4)
+        .map(|c| {
+            let mut arr = [0u8; 4];
+            arr.copy_from_slice(c);
+            f32::from_le_bytes(arr)
+        })
+        .collect())
+}

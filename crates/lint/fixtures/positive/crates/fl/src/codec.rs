@@ -1,0 +1,17 @@
+//! Positive fixture: wire-codec decode-path violations. Exact lines matter.
+
+pub fn decode_frame(bytes: &[u8], n: usize, offset: usize) -> Vec<f32> {
+    let end = offset + n; // codec-checked-arith @4 (unchecked `+`)
+    let payload = &bytes[offset..end]; // codec-checked-arith @5 (bare indexing)
+    let mut out = Vec::new();
+    for chunk in payload.chunks_exact(4) {
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(chunk);
+        out.push(f32::from_le_bytes(arr));
+    }
+    out
+}
+
+pub fn wire_len(n: usize) -> usize {
+    n * 8 // encode-side arithmetic: the decode-path gate must stay silent
+}

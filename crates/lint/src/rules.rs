@@ -670,9 +670,10 @@ fn lenish(name: &str) -> bool {
 }
 
 /// `codec-checked-arith`: inside designated codec regions (the checkpoint
-/// decoder and the federation snapshot restore path), unchecked `+`/`-`/`*`
-/// on length/offset-named values and bare slice indexing are banned —
-/// checksum-valid hostile lengths must not be able to panic or over-allocate.
+/// decoder, the federation snapshot restore path, and the wire codec's
+/// decode path), unchecked `+`/`-`/`*` on length/offset-named values and
+/// bare slice indexing are banned — checksum-valid hostile lengths must
+/// not be able to panic or over-allocate.
 fn rule_codec_checked_arith(
     ctx: &FileContext<'_>,
     code: &[Token],
@@ -681,7 +682,8 @@ fn rule_codec_checked_arith(
 ) {
     let in_checkpoint = ctx.rel_path.ends_with("fl/src/checkpoint.rs");
     let in_persist = ctx.rel_path.ends_with("core/src/persist.rs");
-    if ctx.is_bin || !(in_checkpoint || in_persist) {
+    let in_codec = ctx.rel_path.ends_with("fl/src/codec.rs");
+    if ctx.is_bin || !(in_checkpoint || in_persist || in_codec) {
         return;
     }
     for item in items {
@@ -690,7 +692,8 @@ fn rule_codec_checked_arith(
         }
         let codec = (in_checkpoint
             && (item.impl_type.as_deref() == Some("Dec") || item.name.starts_with("decode")))
-            || (in_persist && matches!(item.name.as_str(), "restore" | "from_json"));
+            || (in_persist && matches!(item.name.as_str(), "restore" | "from_json"))
+            || (in_codec && item.name.starts_with("decode"));
         if !codec {
             continue;
         }

@@ -60,6 +60,11 @@ fn positive_fixture_fires_every_rule() {
         "unchecked `+` on pos, slice index in Dec::take, bare index in decode_header"
     );
     assert_eq!(
+        lines_for(&report, "codec-checked-arith", "fl/src/codec.rs"),
+        vec![4, 5],
+        "unchecked `+` and bare indexing in a decode fn; encode-side wire_len stays silent"
+    );
+    assert_eq!(
         lines_for(&report, "atomic-write-discipline", "checkpoint.rs"),
         vec![25],
         "File::create without sync_all/rename in the same fn"
@@ -109,7 +114,7 @@ fn negative_fixture_is_clean() {
         Vec::new(),
         "negative fixture must scan clean"
     );
-    assert_eq!(report.files_scanned, 5);
+    assert_eq!(report.files_scanned, 6);
 }
 
 #[test]

@@ -52,6 +52,9 @@ pub mod streams {
     pub const FAULT_UPLINK: u64 = 9;
     /// Fault injection: corruption pattern (mode and poisoned indices).
     pub const FAULT_CORRUPT: u64 = 10;
+    /// Update-compression codecs: stochastic rounding draws, per
+    /// `(round, client)`.
+    pub const CODEC: u64 = 11;
 }
 
 #[cfg(test)]

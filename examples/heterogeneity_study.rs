@@ -35,6 +35,7 @@ fn main() {
         seed: 3,
         dropout_rate: 0.0,
         faults: fedclust_fl::FaultPlan::none(),
+        codec: fedclust_fl::CodecSpec::none(),
     };
     let methods: Vec<Box<dyn FlMethod>> = vec![
         Box::new(FedAvg),

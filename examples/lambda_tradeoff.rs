@@ -39,6 +39,7 @@ fn main() {
         seed: 9,
         dropout_rate: 0.0,
         faults: fedclust_fl::FaultPlan::none(),
+        codec: fedclust_fl::CodecSpec::none(),
     };
     let method = FedClust::default();
 

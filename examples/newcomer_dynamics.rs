@@ -56,6 +56,7 @@ fn main() {
         seed: 5,
         dropout_rate: 0.0,
         faults: fedclust_fl::FaultPlan::none(),
+        codec: fedclust_fl::CodecSpec::none(),
     };
 
     println!("federating {} clients…", fd.num_clients());

@@ -44,6 +44,7 @@ fn main() {
         seed: 7,
         dropout_rate: 0.0,
         faults: fedclust_fl::FaultPlan::none(),
+        codec: fedclust_fl::CodecSpec::none(),
     };
 
     // 3. Run FedClust (one-shot weight-driven clustering, then per-cluster

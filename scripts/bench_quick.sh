@@ -17,3 +17,9 @@ cargo bench -p fedclust-bench --bench micro -- \
 # full grid shape).
 FEDCLUST_FAST="${FEDCLUST_FAST:-1}" \
     cargo run -q --release -p fedclust-bench --bin bench_parallel
+
+# Communication-efficiency sweep across upload codecs; writes
+# results/BENCH_comm.json and asserts every codec bills strictly fewer
+# bytes than `none` while replaying bit-identically.
+FEDCLUST_FAST="${FEDCLUST_FAST:-1}" \
+    cargo run -q --release -p fedclust-bench --bin bench_comm

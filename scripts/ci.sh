@@ -26,6 +26,10 @@ echo "== crash recovery =="
 cargo test -q --test crash_recovery
 scripts/kill_resume_smoke.sh
 
+echo "== codec conformance =="
+cargo test -q --test codec_conformance
+cargo test -q --test comm_accounting
+
 echo "== thread equivalence =="
 # The suite itself sweeps thread counts inside each test; running the whole
 # binary under two different pool defaults additionally proves the

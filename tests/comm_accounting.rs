@@ -183,3 +183,61 @@ fn fedclust_partial_upload_is_cheaper_than_one_fedavg_round() {
     let partial = WeightSelection::FinalLayer.upload_len(&template);
     assert!(partial * 4 < template.state_len());
 }
+
+#[test]
+fn compressed_fedavg_wire_bytes_match_the_codec_layout() {
+    // With a codec active the uplink is charged at encoded wire bytes
+    // (header + payload + checksum), while the broadcast stays raw f32s.
+    // Both sides are exactly predictable from the state length.
+    let fd = fd(8, 8);
+    for spec in ["q8", "q4", "topk:0.1", "delta+q8"] {
+        let mut cfg = FlConfig::tiny(8);
+        cfg.rounds = 4;
+        cfg.sample_rate = 0.5; // 4 clients per round
+        cfg.codec = fedclust_repro::fl::CodecSpec::parse(spec).expect("codec spec parses");
+        let state = init_model(&fd, &cfg).state_len();
+        let r = FedAvg.run(&fd, &cfg);
+        let down = 4.0 * 4.0 * state as f64 * BYTES;
+        let up = 4.0 * 4.0 * cfg.codec.wire_len(state) as f64;
+        let expected = (down + up) / MB;
+        assert!(
+            (r.total_mb - expected).abs() < 1e-9,
+            "{}: reported {} expected {}",
+            spec,
+            r.total_mb,
+            expected
+        );
+    }
+}
+
+#[test]
+fn compression_strictly_shrinks_the_bill() {
+    // Every non-identity codec must beat raw f32 uploads on a real
+    // grid-shaped run — for FedAvg and for FedClust's two-phase protocol.
+    let fd = fd(9, 8);
+    let mut base = FlConfig::tiny(9);
+    base.rounds = 3;
+    base.sample_rate = 0.5;
+    let exact_avg = FedAvg.run(&fd, &base);
+    let exact_clust = FedClust::default().run(&fd, &base);
+    for spec in ["q8", "q4", "topk:0.1", "delta+q8"] {
+        let mut cfg = base;
+        cfg.codec = fedclust_repro::fl::CodecSpec::parse(spec).expect("codec spec parses");
+        let avg = FedAvg.run(&fd, &cfg);
+        assert!(
+            avg.total_mb < exact_avg.total_mb,
+            "{}: FedAvg compressed {} !< exact {}",
+            spec,
+            avg.total_mb,
+            exact_avg.total_mb
+        );
+        let clust = FedClust::default().run(&fd, &cfg);
+        assert!(
+            clust.total_mb < exact_clust.total_mb,
+            "{}: FedClust compressed {} !< exact {}",
+            spec,
+            clust.total_mb,
+            exact_clust.total_mb
+        );
+    }
+}

@@ -290,3 +290,54 @@ fn retention_keeps_only_the_newest_generations() {
     assert_eq!(names, vec![generation_file(4), generation_file(5)]);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn compressed_resume_is_bit_identical_including_residuals() {
+    // Top-k error feedback threads mutable residual state through the
+    // transport; a kill-and-resume must restore it exactly, or the
+    // resumed trajectory (and the final checkpoint bytes, which embed
+    // the residuals) silently drifts from the uninterrupted one.
+    let fd = fd(23);
+    for spec in ["topk:0.3", "delta+q8"] {
+        let mut full = cfg(23, 4);
+        full.codec = fedclust_repro::fl::CodecSpec::parse(spec).expect("codec spec parses");
+        let mut partial = full;
+        partial.rounds = 2;
+        for m in [
+            Box::new(FedAvg) as Box<dyn FlMethod>,
+            Box::new(FedClust::default()),
+        ] {
+            let name = m.name().to_lowercase();
+            let tag = spec.replace([':', '+', '.'], "-");
+            let dir_a = tmpdir(&format!("codec-a-{tag}-{name}"));
+            let dir_b = tmpdir(&format!("codec-b-{tag}-{name}"));
+
+            let (reference, _) = run_checkpointed(m.as_ref(), &fd, &full, &dir_a, false);
+            let reference = reference.expect("reference compressed run succeeds");
+
+            let (partial_result, _) = run_checkpointed(m.as_ref(), &fd, &partial, &dir_b, false);
+            partial_result.expect("partial compressed run succeeds");
+            let (resumed, _) = run_checkpointed(m.as_ref(), &fd, &full, &dir_b, true);
+            let resumed = resumed.expect("resumed compressed run succeeds");
+
+            assert_eq!(
+                reference,
+                resumed,
+                "{} ({}): compressed resume diverged",
+                m.name(),
+                spec
+            );
+            let last_a = std::fs::read(dir_a.join(generation_file(4))).expect("final gen in dir_a");
+            let last_b = std::fs::read(dir_b.join(generation_file(4))).expect("final gen in dir_b");
+            assert_eq!(
+                last_a,
+                last_b,
+                "{} ({}): final checkpoint bytes (incl. residuals) differ",
+                m.name(),
+                spec
+            );
+            let _ = std::fs::remove_dir_all(&dir_a);
+            let _ = std::fs::remove_dir_all(&dir_b);
+        }
+    }
+}

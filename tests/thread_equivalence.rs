@@ -239,3 +239,44 @@ fn kill_and_resume_across_a_thread_count_switch_is_bit_identical() {
         let _ = std::fs::remove_dir_all(&dir_sw);
     }
 }
+
+#[test]
+fn compressed_runs_are_bit_identical_across_thread_counts() {
+    // The codec path adds per-client rng draws (stochastic rounding) and
+    // mutable residual state; both key on `(seed, round, client)` and are
+    // folded in client-index order, so the worker pool must stay
+    // invisible under compression too.
+    let _g = config_lock();
+    let fd = fd(29);
+    for spec in ["topk:0.3", "delta+q8+sr"] {
+        let mut cfg = cfg(29, 3);
+        cfg.codec = fedclust_repro::fl::CodecSpec::parse(spec).expect("codec spec parses");
+        for m in [
+            Box::new(FedAvg) as Box<dyn FlMethod>,
+            Box::new(FedClust::default()),
+        ] {
+            let name = m.name().to_lowercase();
+            let tag = spec.replace([':', '+', '.'], "-");
+            let dir1 = tmpdir(&format!("codec1-{tag}-{name}"));
+            let dir4 = tmpdir(&format!("codec4-{tag}-{name}"));
+            let (r1, bytes1) = run_checkpointed_at(1, m.as_ref(), &fd, &cfg, &dir1, false);
+            let (r4, bytes4) = run_checkpointed_at(4, m.as_ref(), &fd, &cfg, &dir4, false);
+            assert_eq!(
+                r1,
+                r4,
+                "{} ({}): compressed run diverged across thread counts",
+                m.name(),
+                spec
+            );
+            assert_eq!(
+                bytes1,
+                bytes4,
+                "{} ({}): compressed checkpoint bytes diverged",
+                m.name(),
+                spec
+            );
+            let _ = std::fs::remove_dir_all(&dir1);
+            let _ = std::fs::remove_dir_all(&dir4);
+        }
+    }
+}
