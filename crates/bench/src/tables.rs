@@ -69,7 +69,8 @@ pub fn targets(grid: &GridResults) -> Vec<(String, f64)> {
                 .iter()
                 .filter_map(|m| grid.aggregate(dataset, m))
                 .map(|a| a.mean_acc)
-                .fold(0.0f64, f64::max);
+                .fold(0.0f64, f64::max)
+                .clamp(0.0, 1.0);
             (dataset.to_string(), (best * 0.9 * 100.0).floor() / 100.0)
         })
         .collect()

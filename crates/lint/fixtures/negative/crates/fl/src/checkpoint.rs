@@ -31,3 +31,5 @@ pub fn save_atomic(dir: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
     std::fs::rename(&tmp, dir.join("ckpt.bin"))?;
     Ok(())
 }
+
+// fedlint-fixture: covers atomic-write-discipline, codec-checked-arith

@@ -56,3 +56,5 @@ mod tests {
         assert_eq!(v.unwrap(), 1);
     }
 }
+
+// fedlint-fixture: covers deterministic-iteration, no-panic-paths, rng-stream-discipline, float-eq, pragma-syntax

@@ -17,3 +17,5 @@ pub fn decode_frame(bytes: &[u8], n: usize) -> Result<Vec<f32>, CodecError> {
         })
         .collect())
 }
+
+// fedlint-fixture: covers codec-checked-arith

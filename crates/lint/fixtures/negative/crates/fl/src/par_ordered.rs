@@ -30,3 +30,5 @@ mod tests {
         assert!(s > 2.9);
     }
 }
+
+// fedlint-fixture: covers deterministic-reduction

@@ -19,3 +19,5 @@ pub fn two_streams(seed: u64, round: u64) {
     let _a = derive(seed, &[streams::ROUND, round]);
     let _b = derive(seed, &[streams::CLIENT, round]);
 }
+
+// fedlint-fixture: covers rng-stream-collision, panic-reachability

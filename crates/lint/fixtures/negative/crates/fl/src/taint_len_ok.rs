@@ -1,0 +1,23 @@
+//! Checked handling of untrusted input: sanitizer calls launder the taint
+//! before any allocation, arithmetic, or indexing.
+
+pub fn load_report_ok(path: &std::path::Path) -> Vec<u8> {
+    let raw = std::fs::read(path).unwrap_or_default();
+    parse_report_ok(&raw)
+}
+
+fn parse_report_ok(payload: &[u8]) -> Vec<u8> {
+    let n = header_len_ok(payload).min(1024);
+    let mut out = Vec::with_capacity(n);
+    let end = n.saturating_mul(4);
+    if let Some(&b) = payload.get(end) {
+        out.push(b);
+    }
+    out
+}
+
+fn header_len_ok(payload: &[u8]) -> usize {
+    payload.first().copied().unwrap_or(0) as usize
+}
+
+// fedlint-fixture: covers untrusted-input-taint

@@ -1,0 +1,13 @@
+//! Wall-clock readings are fine in telemetry-only types — `Telemetry` is
+//! not replayed state, so it is not a determinism sink.
+
+pub struct Telemetry {
+    pub wall_ms: u64,
+}
+
+pub fn observe() -> Telemetry {
+    let wall = std::time::Instant::now().elapsed().as_millis() as u64;
+    Telemetry { wall_ms: wall }
+}
+
+// fedlint-fixture: covers determinism-taint

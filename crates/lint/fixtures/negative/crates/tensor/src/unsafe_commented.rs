@@ -17,3 +17,5 @@ pub fn caller(x: &[f32]) -> f32 {
     }
     0.0
 }
+
+// fedlint-fixture: covers unsafe-needs-safety-comment

@@ -1,0 +1,43 @@
+//! Disciplined pool shapes: a justified Relaxed ordering, one global lock
+//! order, a guard dropped before the next acquisition, and a documented
+//! `unsafe impl`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub struct Shared {
+    next: AtomicUsize,
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+// SAFETY: Shared owns no thread-affine state; the Mutexes serialize every
+// access to the interior values.
+unsafe impl Send for Shared {}
+
+pub fn claim(s: &Shared) -> usize {
+    // fedlint::allow(pool-discipline): pure claim counter; fetch_add atomicity alone guarantees unique indices, and claim order never reaches results.
+    s.next.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn first_then_second(s: &Shared) -> u32 {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    *ga + *gb
+}
+
+pub fn also_first_then_second(s: &Shared) -> u32 {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    *ga - *gb
+}
+
+pub fn drop_before_reacquire(s: &Shared) -> u32 {
+    let ga = s.a.lock().unwrap();
+    let v = *ga;
+    drop(ga);
+    let gb = s.b.lock().unwrap();
+    *gb + v
+}
+
+// fedlint-fixture: covers pool-discipline

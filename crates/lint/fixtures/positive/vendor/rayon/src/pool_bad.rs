@@ -1,0 +1,29 @@
+//! Seeded `pool-discipline` violations: a naked Relaxed ordering, a
+//! reversed lock pair, and an unjustified `unsafe impl Send`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub struct Shared {
+    next: AtomicUsize,
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+unsafe impl Send for Shared {}
+
+pub fn claim(s: &Shared) -> usize {
+    s.next.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn forward(s: &Shared) -> u32 {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    *ga + *gb
+}
+
+pub fn backward(s: &Shared) -> u32 {
+    let gb = s.b.lock().unwrap();
+    let ga = s.a.lock().unwrap();
+    *ga - *gb
+}

@@ -40,23 +40,38 @@ const NON_CALLS: [&str; 28] = [
     "ref", "return", "static", "where", "while",
 ];
 
+/// One resolved call site inside a body: the callee node and the token
+/// index of the call's name (so the taint engine can read its arguments).
+pub(crate) struct CallSite {
+    /// Token index of the callee name in the caller's file.
+    pub(crate) tok: usize,
+    /// Callee node index.
+    pub(crate) callee: usize,
+    /// `self.method(…)` form — arguments shift past the receiver.
+    pub(crate) method: bool,
+}
+
 /// One function in the workspace graph.
-struct FnNode {
-    file_idx: usize,
+pub(crate) struct FnNode {
+    pub(crate) file_idx: usize,
+    /// Index of the backing item in its file's `items` vec.
+    pub(crate) item_idx: usize,
     /// `[crate, file modules…, inline modules…, impl type?]`.
     path: Vec<String>,
     name: String,
-    display: String,
+    pub(crate) display: String,
     file: String,
     crate_name: String,
     module: Vec<String>,
     impl_type: Option<String>,
     is_pub: bool,
-    is_test: bool,
+    pub(crate) is_test: bool,
     is_bin: bool,
     decl_line: u32,
     /// Sorted, deduplicated callee node indices.
     calls: Vec<usize>,
+    /// Resolved call sites in token order (unsorted, may repeat callees).
+    pub(crate) sites: Vec<CallSite>,
     /// Unsuppressed panic sites in this body, sorted by line.
     panics: Vec<(u32, String)>,
 }
@@ -70,6 +85,14 @@ pub fn global_findings(files: &[FileAnalysis]) -> Vec<Finding> {
     panic_reachability(&nodes, &mut out);
     stream_collisions(files, &mut out);
     duplicate_derives(files, &mut out);
+    out.extend(crate::dataflow::taint_findings(
+        files,
+        &crate::dataflow::untrusted_input_spec(),
+    ));
+    out.extend(crate::dataflow::taint_findings(
+        files,
+        &crate::dataflow::determinism_spec(),
+    ));
     out.retain(|f| {
         files
             .iter()
@@ -117,7 +140,7 @@ fn text_at(code: &[Token], i: usize) -> &str {
 
 /// Iterate the token indices of `item`'s body, skipping the bodies of other
 /// `fn` items nested inside it.
-fn body_indices(item: &Item, all_items: &[Item]) -> Vec<usize> {
+pub(crate) fn body_indices(item: &Item, all_items: &[Item]) -> Vec<usize> {
     let Some((start, end)) = item.body else {
         return Vec::new();
     };
@@ -132,7 +155,7 @@ fn body_indices(item: &Item, all_items: &[Item]) -> Vec<usize> {
     let mut k = start.saturating_add(1);
     while k < end {
         if let Some(&(s, e)) = skips.iter().find(|&&(s, e)| s <= k && k <= e) {
-            k = e.saturating_add(1).max(s + 1);
+            k = e.max(s).saturating_add(1);
             continue;
         }
         out.push(k);
@@ -141,7 +164,7 @@ fn body_indices(item: &Item, all_items: &[Item]) -> Vec<usize> {
     out
 }
 
-fn build_graph(files: &[FileAnalysis]) -> Vec<FnNode> {
+pub(crate) fn build_graph(files: &[FileAnalysis]) -> Vec<FnNode> {
     let mut nodes: Vec<FnNode> = Vec::new();
     // (file_idx, item_idx) -> node idx, and name -> node idxs for resolution.
     let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
@@ -163,6 +186,7 @@ fn build_graph(files: &[FileAnalysis]) -> Vec<FnNode> {
             node_of.insert((fi, ii), idx);
             nodes.push(FnNode {
                 file_idx: fi,
+                item_idx: ii,
                 path,
                 name: item.name.clone(),
                 display: item.display_name(),
@@ -175,6 +199,7 @@ fn build_graph(files: &[FileAnalysis]) -> Vec<FnNode> {
                 is_bin: fa.is_bin,
                 decl_line: item.decl_line,
                 calls: Vec::new(),
+                sites: Vec::new(),
                 panics: Vec::new(),
             });
         }
@@ -187,38 +212,40 @@ fn build_graph(files: &[FileAnalysis]) -> Vec<FnNode> {
         .map(|(k, v)| (k.to_string(), v))
         .collect();
 
-    // Second pass: extract calls and panic sites from each body.
-    // (node, callee nodes, panic sites as (line, what)).
-    type NodeEdges = (usize, Vec<usize>, Vec<(u32, String)>);
+    // Second pass: extract call sites and panic sites from each body.
+    // (node, call sites, panic sites as (line, what)).
+    type NodeEdges = (usize, Vec<CallSite>, Vec<(u32, String)>);
     let mut edges: Vec<NodeEdges> = Vec::new();
     for (fi, fa) in files.iter().enumerate() {
         for (ii, item) in fa.items.iter().enumerate() {
             let Some(&me) = node_of.get(&(fi, ii)) else {
                 continue;
             };
-            let (calls, panics) = scan_body(fa, item, &nodes, &by_name, me);
-            edges.push((me, calls, panics));
+            let (sites, panics) = scan_body(fa, item, &nodes, &by_name, me);
+            edges.push((me, sites, panics));
         }
     }
-    for (me, mut calls, panics) in edges {
+    for (me, sites, panics) in edges {
+        let mut calls: Vec<usize> = sites.iter().map(|s| s.callee).collect();
         calls.sort_unstable();
         calls.dedup();
         nodes[me].calls = calls;
+        nodes[me].sites = sites;
         nodes[me].panics = panics;
     }
     nodes
 }
 
-/// Extract resolved calls and unsuppressed panic sites from one fn body.
+/// Extract resolved call sites and unsuppressed panic sites from one body.
 fn scan_body(
     fa: &FileAnalysis,
     item: &Item,
     nodes: &[FnNode],
     by_name: &BTreeMap<String, Vec<usize>>,
     me: usize,
-) -> (Vec<usize>, Vec<(u32, String)>) {
+) -> (Vec<CallSite>, Vec<(u32, String)>) {
     let code = &fa.code;
-    let mut calls = Vec::new();
+    let mut sites: Vec<CallSite> = Vec::new();
     let mut panics = Vec::new();
     let site_suppressed = |line: u32| {
         fa.suppressed("no-panic-paths", line) || fa.suppressed("panic-reachability", line)
@@ -264,18 +291,26 @@ fn scan_body(
                                         && nodes[c].crate_name == nodes[me].crate_name
                                 })
                                 .collect();
-                            match hits.as_slice() {
-                                [one] => calls.push(*one),
+                            let resolved = match hits.as_slice() {
+                                [one] => Some(*one),
                                 many => {
                                     let same_file: Vec<usize> = many
                                         .iter()
                                         .copied()
                                         .filter(|&c| nodes[c].file_idx == nodes[me].file_idx)
                                         .collect();
-                                    if let [one] = same_file.as_slice() {
-                                        calls.push(*one);
+                                    match same_file.as_slice() {
+                                        [one] => Some(*one),
+                                        _ => None,
                                     }
                                 }
+                            };
+                            if let Some(callee) = resolved {
+                                sites.push(CallSite {
+                                    tok: k,
+                                    callee,
+                                    method: true,
+                                });
                             }
                         }
                     }
@@ -292,20 +327,32 @@ fn scan_body(
                     segs.insert(0, text_at(code, j - 2).to_string());
                     j -= 2;
                 }
-                resolve_path(&segs, item, nodes, by_name, me, &mut calls);
+                if let Some(callee) = resolve_path(&segs, item, nodes, by_name, me) {
+                    sites.push(CallSite {
+                        tok: k,
+                        callee,
+                        method: false,
+                    });
+                }
             }
             "fn" => {}
             _ => {
                 if NON_CALLS.contains(&t.text.as_str()) {
                     continue;
                 }
-                resolve_bare(&t.text, nodes, by_name, me, &mut calls);
+                if let Some(callee) = resolve_bare(&t.text, nodes, by_name, me) {
+                    sites.push(CallSite {
+                        tok: k,
+                        callee,
+                        method: false,
+                    });
+                }
             }
         }
     }
     panics.sort_unstable();
     panics.dedup();
-    (calls, panics)
+    (sites, panics)
 }
 
 /// Resolve `a::b::f(…)`: qualifier segments must suffix-match exactly one
@@ -316,11 +363,8 @@ fn resolve_path(
     nodes: &[FnNode],
     by_name: &BTreeMap<String, Vec<usize>>,
     me: usize,
-    calls: &mut Vec<usize>,
-) {
-    let Some((name, qual)) = segs.split_last() else {
-        return;
-    };
+) -> Option<usize> {
+    let (name, qual) = segs.split_last()?;
     // Normalize: drop leading `crate`/`self`/`super`, map `Self` to the
     // enclosing impl type.
     let mut prefix: Vec<String> = qual.to_vec();
@@ -338,12 +382,9 @@ fn resolve_path(
         }
     }
     if prefix.is_empty() {
-        resolve_bare(name, nodes, by_name, me, calls);
-        return;
+        return resolve_bare(name, nodes, by_name, me);
     }
-    let Some(cands) = by_name.get(name) else {
-        return;
-    };
+    let cands = by_name.get(name)?;
     let hits: Vec<usize> = cands
         .iter()
         .copied()
@@ -357,15 +398,16 @@ fn resolve_path(
         })
         .collect();
     match hits.as_slice() {
-        [one] => calls.push(*one),
+        [one] => Some(*one),
         many => {
             let same_file: Vec<usize> = many
                 .iter()
                 .copied()
                 .filter(|&c| nodes[c].file_idx == nodes[me].file_idx)
                 .collect();
-            if let [one] = same_file.as_slice() {
-                calls.push(*one);
+            match same_file.as_slice() {
+                [one] => Some(*one),
+                _ => None,
             }
         }
     }
@@ -377,11 +419,8 @@ fn resolve_bare(
     nodes: &[FnNode],
     by_name: &BTreeMap<String, Vec<usize>>,
     me: usize,
-    calls: &mut Vec<usize>,
-) {
-    let Some(cands) = by_name.get(name) else {
-        return;
-    };
+) -> Option<usize> {
+    let cands = by_name.get(name)?;
     let free: Vec<usize> = cands
         .iter()
         .copied()
@@ -393,11 +432,10 @@ fn resolve_bare(
         .filter(|&c| nodes[c].file_idx == nodes[me].file_idx && nodes[c].module == nodes[me].module)
         .collect();
     if let [one] = local.as_slice() {
-        calls.push(*one);
-        return;
+        return Some(*one);
     }
     if !local.is_empty() {
-        return;
+        return None;
     }
     let in_crate: Vec<usize> = free
         .iter()
@@ -405,14 +443,14 @@ fn resolve_bare(
         .filter(|&c| nodes[c].crate_name == nodes[me].crate_name)
         .collect();
     if let [one] = in_crate.as_slice() {
-        calls.push(*one);
-        return;
+        return Some(*one);
     }
     if !in_crate.is_empty() {
-        return;
+        return None;
     }
-    if let [one] = free.as_slice() {
-        calls.push(*one);
+    match free.as_slice() {
+        [one] => Some(*one),
+        _ => None,
     }
 }
 

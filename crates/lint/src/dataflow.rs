@@ -1,0 +1,1532 @@
+//! Per-function dataflow for `fedlint`: def-use chains over locals, an
+//! interprocedural taint engine, and the thread-pool concurrency checks.
+//!
+//! The engine recovers, for every `fn` body, its parameter names, its `let`
+//! bindings and plain reassignments (each with the token range of its
+//! right-hand side), and its `return`/trailing expressions ([`fn_flows`]).
+//! On top of that, [`taint_findings`] runs a flow-insensitive-per-pass,
+//! interprocedurally-propagated taint analysis: a [`TaintSpec`] names the
+//! source calls whose results (or `&mut` buffer arguments) are tainted, the
+//! sanitizer calls that launder a binding, and the sink shapes that turn a
+//! tainted use into a [`Finding`]. Taint crosses function boundaries along
+//! the [`crate::callgraph`] edges — tainted argument to parameter, tainted
+//! return to call-site — and every finding's message carries the full
+//! source → variable → call chain.
+//!
+//! Precision philosophy (same as the call graph): **ambiguity drops taint**.
+//! Bindings from `for`/`match` patterns, struct-field writes, receivers the
+//! call graph cannot resolve, and anything else the extractor does not
+//! understand simply stop propagation — the rules under-report rather than
+//! invent findings. The lattice is monotone: taint is only ever added within
+//! a fixpoint pass, so adding a source can add findings but never remove one
+//! (pinned by a property test).
+//!
+//! Robustness contract: like the lexer and item parser, everything here is
+//! total — arbitrary token soup must never panic or hang (every range is
+//! bounds-clamped, every loop advances, fixpoints are iteration-capped).
+
+use crate::items::{Item, ItemKind};
+use crate::lexer::{TokKind, Token};
+use crate::rules::FileAnalysis;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Interprocedural fixpoint passes; taint deeper than this many call hops
+/// is dropped (ambiguity policy, and a termination backstop).
+const MAX_PASSES: usize = 10;
+/// Provenance hops kept per chain before the message stops growing.
+const MAX_CHAIN_HOPS: usize = 12;
+/// Longest right-hand side an extractor will scan before cutting the range.
+const MAX_EXPR_TOKENS: usize = 2000;
+
+// ---------------------------------------------------------------------------
+// Def-use extraction
+// ---------------------------------------------------------------------------
+
+/// One binding site of a local: a `let` name or a plain reassignment target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Def {
+    /// The bound name.
+    pub name: String,
+    /// 1-based line of the binding.
+    pub line: u32,
+    /// `[start, end)` token-index range of the right-hand side, into the
+    /// file's comment-free token stream.
+    pub rhs: (usize, usize),
+}
+
+/// One declared parameter name. `position` is the zero-based argument
+/// segment (the receiver, if any, is segment 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The parameter name.
+    pub name: String,
+    /// Zero-based position in the parameter list.
+    pub position: usize,
+}
+
+/// The def-use structure of one `fn` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnFlow {
+    /// Index of the owning item in the file's `items` vec.
+    pub item_idx: usize,
+    /// First parameter segment is a `self` receiver.
+    pub has_receiver: bool,
+    /// Declared parameter names.
+    pub params: Vec<Param>,
+    /// `let` bindings and reassignments, in token order.
+    pub defs: Vec<Def>,
+    /// Token ranges of `return` expressions plus the trailing expression.
+    pub rets: Vec<(usize, usize)>,
+}
+
+/// Identifier shapes that can name a local: lowercase/underscore start,
+/// not a keyword that appears inside patterns or parameter lists.
+fn is_local_name(name: &str) -> bool {
+    let starts_lower = name
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_lowercase() || c == '_');
+    starts_lower
+        && name != "_"
+        && !matches!(
+            name,
+            "box" | "const" | "dyn" | "impl" | "mut" | "ref" | "self" | "fn"
+        )
+}
+
+fn text_at(code: &[Token], i: usize) -> &str {
+    code.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+/// Scan an expression starting at `from`: the range ends at the first `;`
+/// or top-level `else` at the starting delimiter depth, at a delimiter that
+/// closes past the start, or (for `if let`/`while let` scrutinees) at a `{`
+/// at the starting depth. Always returns `from <= end <= limit`.
+fn expr_range(code: &[Token], from: usize, limit: usize, stop_at_brace: bool) -> (usize, usize) {
+    let limit = limit.min(code.len());
+    let mut depth = 0i64;
+    let mut j = from;
+    while j < limit && j - from < MAX_EXPR_TOKENS {
+        match text_at(code, j) {
+            "(" | "[" => depth += 1,
+            "{" => {
+                if depth == 0 && stop_at_brace {
+                    return (from, j);
+                }
+                depth += 1;
+            }
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return (from, j);
+                }
+            }
+            ";" if depth == 0 => return (from, j),
+            "else" if depth == 0 => return (from, j),
+            _ => {}
+        }
+        j += 1;
+    }
+    (from, j)
+}
+
+/// Parse the parameter list of the `fn` whose keyword sits at `fn_tok`.
+fn parse_params(code: &[Token], fn_tok: usize, body_start: usize) -> (bool, Vec<Param>) {
+    let mut k = fn_tok + 2; // past `fn name`
+    if text_at(code, k) == "<" {
+        // Skip the generics. Inside a header, `<`/`>` are only generic
+        // delimiters; shift operators cannot appear.
+        let mut angle = 0i64;
+        while k < body_start.min(code.len()) {
+            match text_at(code, k) {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            k += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+    }
+    if text_at(code, k) != "(" {
+        return (false, Vec::new());
+    }
+    let (mut paren, mut angle, mut bracket) = (0i64, 0i64, 0i64);
+    let mut params = Vec::new();
+    let mut position = 0usize;
+    let mut in_pattern = true;
+    let mut has_receiver = false;
+    while k < body_start.min(code.len()) {
+        let t = &code[k];
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => {
+                paren -= 1;
+                if paren == 0 {
+                    break;
+                }
+            }
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "<" => angle += 1,
+            "<<" => angle += 2,
+            ">" => angle -= 1,
+            ">>" => angle -= 2,
+            ":" if paren == 1 && angle == 0 && bracket == 0 => in_pattern = false,
+            "," if paren == 1 && angle == 0 && bracket == 0 => {
+                position += 1;
+                in_pattern = true;
+            }
+            _ => {
+                if in_pattern && paren >= 1 && angle == 0 && t.kind == TokKind::Ident {
+                    if t.text == "self" && position == 0 {
+                        has_receiver = true;
+                    } else if is_local_name(&t.text) {
+                        params.push(Param {
+                            name: t.text.clone(),
+                            position,
+                        });
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    (has_receiver, params)
+}
+
+/// Recover the def-use structure of every `fn` item with a body. Total and
+/// deterministic on arbitrary token soup; unmatched items are skipped.
+pub fn fn_flows(code: &[Token], items: &[Item]) -> Vec<FnFlow> {
+    let mut flows = Vec::new();
+    let mut cursor = 0usize;
+    for (item_idx, item) in items.iter().enumerate() {
+        if item.kind != ItemKind::Fn {
+            continue;
+        }
+        let Some((start, raw_end)) = item.body else {
+            continue;
+        };
+        let end = raw_end.min(code.len());
+        if start >= end {
+            continue;
+        }
+        // Locate this item's `fn` keyword: the last `fn <name>` pair at or
+        // after a monotone cursor and before the body opens (items come in
+        // declaration order, so the cursor never has to back up).
+        let mut fn_tok = None;
+        let mut k = cursor;
+        while k < start && k + 1 < code.len() {
+            if code[k].kind == TokKind::Ident
+                && code[k].text == "fn"
+                && code[k + 1].kind == TokKind::Ident
+                && code[k + 1].text == item.name
+            {
+                fn_tok = Some(k);
+            }
+            k += 1;
+        }
+        let Some(fn_tok) = fn_tok else { continue };
+        cursor = fn_tok + 1;
+        let (has_receiver, params) = parse_params(code, fn_tok, start);
+        let (mut defs, mut rets) = collect_defs(code, start, end);
+        normalize_spans(&mut defs, &mut rets);
+        flows.push(FnFlow {
+            item_idx,
+            has_receiver,
+            params,
+            defs,
+            rets,
+        });
+    }
+    flows
+}
+
+/// Clamp partially overlapping spans so every pair nests or stays
+/// disjoint. Well-formed code never crosses — block initializers nest and
+/// `;` separates siblings — but half-written sources can make an `if let`
+/// scrutinee (which stops at `{`) and a plain `let` rhs (which scans
+/// through the brace group) claim crossing ranges, and the taint walk
+/// relies on proper nesting. Truncating the later-starting span of a
+/// crossing pair only ever shrinks ranges, so taint is dropped, never
+/// invented.
+fn normalize_spans(defs: &mut [Def], rets: &mut [(usize, usize)]) {
+    let mut all: Vec<(usize, usize)> = defs
+        .iter()
+        .map(|d| d.rhs)
+        .chain(rets.iter().copied())
+        .collect();
+    // Fixpoint: every truncation strictly lowers one span end while keeping
+    // the span non-empty (the crossing condition has b0 < a1), so the sum
+    // of ends strictly decreases and the loop terminates.
+    loop {
+        let mut changed = false;
+        for i in 0..all.len() {
+            for j in 0..all.len() {
+                let (a0, a1) = all[i];
+                let (b0, b1) = all[j];
+                if a0 <= b0 && b0 < a1 && a1 < b1 {
+                    all[j].1 = a1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (d, s) in defs.iter_mut().zip(&all) {
+        d.rhs = *s;
+    }
+    for (r, s) in rets.iter_mut().zip(all.iter().skip(defs.len())) {
+        *r = *s;
+    }
+}
+
+/// Walk a body span collecting `let` defs, reassignments, and return ranges.
+fn collect_defs(code: &[Token], start: usize, end: usize) -> (Vec<Def>, Vec<(usize, usize)>) {
+    let mut defs = Vec::new();
+    let mut rets = Vec::new();
+    let mut depth = 1i64;
+    let mut tail_start = start + 1;
+    let mut k = start + 1;
+    while k < end {
+        let t = &code[k];
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            ";" if depth == 1 => tail_start = k + 1,
+            "let" if t.kind == TokKind::Ident => {
+                parse_let(code, k, end, &mut defs);
+            }
+            "return" if t.kind == TokKind::Ident => {
+                let r = expr_range(code, k + 1, end, false);
+                if r.0 < r.1 {
+                    rets.push(r);
+                }
+            }
+            _ => {
+                // Plain or compound reassignment at statement start.
+                let is_assign_op = code.get(k + 1).is_some_and(|n| {
+                    n.kind == TokKind::Op
+                        && matches!(
+                            n.text.as_str(),
+                            "=" | "+="
+                                | "-="
+                                | "*="
+                                | "/="
+                                | "%="
+                                | "&="
+                                | "|="
+                                | "^="
+                                | "<<="
+                                | ">>="
+                        )
+                });
+                let stmt_start =
+                    k == start + 1 || matches!(text_at(code, k.wrapping_sub(1)), ";" | "{" | "}");
+                if t.kind == TokKind::Ident && is_local_name(&t.text) && is_assign_op && stmt_start
+                {
+                    let rhs = expr_range(code, k + 2, end, false);
+                    if rhs.0 < rhs.1 {
+                        defs.push(Def {
+                            name: t.text.clone(),
+                            line: t.line,
+                            rhs,
+                        });
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    if tail_start < end {
+        rets.push((tail_start, end));
+    }
+    (defs, rets)
+}
+
+/// Parse one `let` statement starting at the `let` token: collect the
+/// pattern's binding names, then the `=`-to-terminator right-hand side.
+fn parse_let(code: &[Token], let_tok: usize, end: usize, defs: &mut Vec<Def>) {
+    let is_cond = let_tok > 0 && matches!(text_at(code, let_tok - 1), "if" | "while");
+    let mut names: Vec<(String, u32)> = Vec::new();
+    let mut depth = 0i64;
+    let mut in_type = false;
+    let mut j = let_tok + 1;
+    let mut eq = None;
+    while j < end.min(code.len()) && j - let_tok < 128 {
+        let t = &code[j];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return;
+                }
+            }
+            ":" if depth == 0 => in_type = true,
+            "=" if depth == 0 && t.kind == TokKind::Op => {
+                eq = Some(j);
+                break;
+            }
+            ";" if depth == 0 => return, // `let x;` — no initializer
+            _ => {
+                if !in_type && t.kind == TokKind::Ident && is_local_name(&t.text) {
+                    names.push((t.text.clone(), t.line));
+                }
+            }
+        }
+        j += 1;
+    }
+    let Some(eq) = eq else { return };
+    let rhs = expr_range(code, eq + 1, end, is_cond);
+    if rhs.0 >= rhs.1 {
+        return;
+    }
+    for (name, line) in names {
+        defs.push(Def { name, line, rhs });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Taint engine
+// ---------------------------------------------------------------------------
+
+/// Provenance of a tainted value: where it came from, and the chain of
+/// variables / calls it flowed through (capped at [`MAX_CHAIN_HOPS`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Chain {
+    origin: String,
+    hops: Vec<String>,
+}
+
+impl Chain {
+    fn new(origin: String) -> Self {
+        Chain {
+            origin,
+            hops: Vec::new(),
+        }
+    }
+
+    fn hop(&self, h: String) -> Self {
+        let mut c = self.clone();
+        if c.hops.last() != Some(&h) && c.hops.len() < MAX_CHAIN_HOPS {
+            c.hops.push(h);
+        }
+        c
+    }
+
+    /// Render the full source → … chain for a finding message.
+    pub fn describe(&self) -> String {
+        if self.hops.is_empty() {
+            self.origin.clone()
+        } else {
+            format!("{} -> {}", self.origin, self.hops.join(" -> "))
+        }
+    }
+}
+
+/// Which sink shapes a taint rule reports on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkSet {
+    /// Bare `+`/`-`/`*`, slice indexing, and capacity allocation on
+    /// tainted values (`untrusted-input-taint`).
+    UntrustedLength,
+    /// Replayed-state constructors and seed/wire/meter calls
+    /// (`determinism-taint`).
+    Determinism,
+}
+
+/// A taint rule: sources, sanitizers, and sinks. The spec is data so the
+/// monotonicity property test can vary the source set.
+#[derive(Debug, Clone)]
+pub struct TaintSpec {
+    /// The rule name findings are reported under.
+    pub rule: &'static str,
+    /// `(qualifier, name)` call patterns whose *result* is tainted; an
+    /// empty qualifier matches the name in any call position.
+    pub source_calls: Vec<(&'static str, &'static str)>,
+    /// Reader-style methods whose `&mut` buffer argument becomes tainted.
+    pub source_mut_args: Vec<&'static str>,
+    /// Treat `<…ptr…> as usize` casts as sources.
+    pub ptr_cast_source: bool,
+    /// Treat `thread::current().id()` as a source.
+    pub thread_id_source: bool,
+    /// Calls that launder taint out of an expression (bounds-checking,
+    /// checked/saturating arithmetic, fallible conversion).
+    pub sanitizers: Vec<&'static str>,
+    /// The sink shapes to report.
+    pub sinks: SinkSet,
+}
+
+/// The `untrusted-input-taint` rule: bytes from disk (and future socket
+/// reads) are hostile; lengths derived from them must be checked before
+/// arithmetic, indexing, or allocation.
+pub fn untrusted_input_spec() -> TaintSpec {
+    TaintSpec {
+        rule: "untrusted-input-taint",
+        source_calls: vec![("fs", "read"), ("fs", "read_to_string")],
+        source_mut_args: vec![
+            "peek",
+            "read",
+            "read_exact",
+            "read_to_end",
+            "read_to_string",
+            "recv",
+            "recv_from",
+        ],
+        ptr_cast_source: false,
+        thread_id_source: false,
+        sanitizers: vec![
+            "checked_add",
+            "checked_div",
+            "checked_mul",
+            "checked_rem",
+            "checked_sub",
+            "clamp",
+            "count",
+            "get",
+            "len",
+            "min",
+            "position",
+            "saturating_add",
+            "saturating_mul",
+            "saturating_sub",
+            "try_from",
+            "try_into",
+        ],
+        sinks: SinkSet::UntrustedLength,
+    }
+}
+
+/// The `determinism-taint` rule: wall-clock, parallelism, thread identity,
+/// and address-derived values must never reach replayed state. There are no
+/// sanitizers — nondeterminism cannot be laundered, only kept away from the
+/// sinks (telemetry types are simply not sinks; that is the allowlist).
+pub fn determinism_spec() -> TaintSpec {
+    TaintSpec {
+        rule: "determinism-taint",
+        source_calls: vec![
+            ("Instant", "now"),
+            ("SystemTime", "now"),
+            ("", "available_parallelism"),
+            ("", "current_num_threads"),
+        ],
+        source_mut_args: vec![],
+        ptr_cast_source: true,
+        thread_id_source: true,
+        sanitizers: vec![],
+        sinks: SinkSet::Determinism,
+    }
+}
+
+/// Replayed-state type names whose construction is a determinism sink.
+const DET_SINK_TYPES: [&str; 4] = ["Checkpoint", "CommMeter", "MethodState", "RunResult"];
+/// Call names that write into replayed state, derive RNG streams, or charge
+/// the communication meter.
+const DET_SINK_CALLS: [&str; 8] = [
+    "derive",
+    "down",
+    "down_wire",
+    "encode",
+    "from_bytes",
+    "seed_from_u64",
+    "up",
+    "up_wire",
+];
+/// Tokens before `Type {` that mean "type position", not a struct literal.
+const NOT_A_LITERAL: [&str; 11] = [
+    "->", ":", "&", "<", "as", "dyn", "enum", "for", "impl", "struct", "trait",
+];
+
+/// Per-function taint state during the interprocedural fixpoint.
+#[derive(Default, Clone)]
+struct NodeTaint {
+    vars: BTreeMap<String, Chain>,
+    param_in: BTreeMap<usize, Chain>,
+    ret: Option<Chain>,
+}
+
+/// Run one taint rule over the whole workspace and return its findings
+/// (unsorted, not pragma-filtered — the caller applies suppression).
+pub fn taint_findings(files: &[FileAnalysis], spec: &TaintSpec) -> Vec<Finding> {
+    let nodes = crate::callgraph::build_graph(files);
+    let file_flows: Vec<Vec<FnFlow>> = files
+        .iter()
+        .map(|fa| fn_flows(&fa.code, &fa.items))
+        .collect();
+    // node index -> flow, via (file_idx, item_idx).
+    let mut flow_of: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut by_item: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (fi, flows) in file_flows.iter().enumerate() {
+        for (xi, fl) in flows.iter().enumerate() {
+            by_item.insert((fi, fl.item_idx), xi);
+        }
+    }
+    for (ni, node) in nodes.iter().enumerate() {
+        flow_of[ni] = by_item.get(&(node.file_idx, node.item_idx)).copied();
+    }
+
+    let mut st: Vec<NodeTaint> = vec![NodeTaint::default(); nodes.len()];
+    for _pass in 0..MAX_PASSES {
+        let mut changed = false;
+        let mut pending: Vec<(usize, usize, Chain)> = Vec::new();
+        for ni in 0..nodes.len() {
+            let Some(xi) = flow_of[ni] else { continue };
+            let node = &nodes[ni];
+            let fa = &files[node.file_idx];
+            let flow = &file_flows[node.file_idx][xi];
+
+            // Seed: tainted parameters and direct `&mut` buffer sources.
+            let mut vars: BTreeMap<String, Chain> = BTreeMap::new();
+            for p in &flow.params {
+                if let Some(c) = st[ni].param_in.get(&p.position) {
+                    vars.insert(p.name.clone(), c.hop(format!("`{}`", p.name)));
+                }
+            }
+            if let Some((start, end)) = fa.items.get(node.item_idx).and_then(|it| it.body) {
+                seed_mut_arg_sources(fa, start, end, spec, &mut vars);
+            }
+
+            // Intra-function fixpoint over the def list.
+            for _round in 0..flow.defs.len() + 1 {
+                let mut grew = false;
+                for d in &flow.defs {
+                    if vars.contains_key(&d.name) {
+                        continue;
+                    }
+                    if let Some(c) = expr_taint(fa, d.rhs, &vars, spec, &nodes, &st, ni) {
+                        vars.insert(d.name.clone(), c.hop(format!("`{}`", d.name)));
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+
+            // Return taint.
+            let ret = flow
+                .rets
+                .iter()
+                .find_map(|&r| expr_taint(fa, r, &vars, spec, &nodes, &st, ni));
+            if st[ni].ret.is_none() {
+                if let Some(rc) = ret {
+                    st[ni].ret = Some(rc);
+                    changed = true;
+                }
+            }
+
+            // Argument -> parameter propagation along resolved call sites.
+            for site in &node.sites {
+                let Some(cxi) = flow_of[site.callee] else {
+                    continue;
+                };
+                let callee_flow = &file_flows[nodes[site.callee].file_idx][cxi];
+                let offset = usize::from(site.method && callee_flow.has_receiver);
+                for (pos, range) in arg_ranges(&fa.code, site.tok) {
+                    let target = pos + offset;
+                    if st[site.callee].param_in.contains_key(&target) {
+                        continue;
+                    }
+                    if let Some(c) = expr_taint(fa, range, &vars, spec, &nodes, &st, ni) {
+                        pending.push((
+                            site.callee,
+                            target,
+                            c.hop(format!("arg #{target} of `{}`", nodes[site.callee].display)),
+                        ));
+                    }
+                }
+            }
+
+            st[ni].vars = vars;
+        }
+        for (callee, pos, chain) in pending {
+            if let std::collections::btree_map::Entry::Vacant(e) = st[callee].param_in.entry(pos) {
+                e.insert(chain);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sink pass.
+    let mut out = Vec::new();
+    for (ni, node) in nodes.iter().enumerate() {
+        if node.is_test || st[ni].vars.is_empty() {
+            continue;
+        }
+        let fa = &files[node.file_idx];
+        let Some(item) = fa.items.get(node.item_idx) else {
+            continue;
+        };
+        let idxs = crate::callgraph::body_indices(item, &fa.items);
+        match spec.sinks {
+            SinkSet::UntrustedLength => {
+                sink_untrusted(fa, &idxs, &st[ni].vars, spec, &mut out);
+            }
+            SinkSet::Determinism => {
+                sink_determinism(fa, &idxs, &st[ni].vars, spec, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Taint `&mut` buffer arguments of reader calls: `f.read_to_end(&mut buf)`
+/// taints `buf` directly.
+fn seed_mut_arg_sources(
+    fa: &FileAnalysis,
+    start: usize,
+    end: usize,
+    spec: &TaintSpec,
+    vars: &mut BTreeMap<String, Chain>,
+) {
+    let code = &fa.code;
+    for k in start + 1..end.min(code.len()) {
+        let t = &code[k];
+        if t.kind != TokKind::Ident
+            || !spec.source_mut_args.contains(&t.text.as_str())
+            || text_at(code, k.wrapping_sub(1)) != "."
+            || text_at(code, k + 1) != "("
+        {
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut j = k + 1;
+        while j < code.len() && j - k < 64 {
+            match text_at(code, j) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "&" if text_at(code, j + 1) == "mut" => {
+                    if let Some(arg) = code.get(j + 2).filter(|a| {
+                        a.kind == TokKind::Ident
+                            && is_local_name(&a.text)
+                            && text_at(code, j + 3) != "."
+                    }) {
+                        vars.entry(arg.text.clone()).or_insert_with(|| {
+                            Chain::new(format!(
+                                "`{}(&mut {})` at {}:{}",
+                                t.text, arg.text, fa.rel_path, t.line
+                            ))
+                            .hop(format!("`{}`", arg.text))
+                        });
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Split the argument list of the call whose name token is at `name_tok`
+/// into `(position, token range)` pairs; commas only split at depth 1.
+fn arg_ranges(code: &[Token], name_tok: usize) -> Vec<(usize, (usize, usize))> {
+    let open = name_tok + 1;
+    if text_at(code, open) != "(" {
+        return Vec::new();
+    }
+    let close = matching_close(code, open);
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut pos = 0usize;
+    let mut seg_start = open + 1;
+    for k in open..close.min(code.len()) {
+        match text_at(code, k) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 1 => {
+                if seg_start < k {
+                    out.push((pos, (seg_start, k)));
+                }
+                pos += 1;
+                seg_start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if seg_start < close {
+        out.push((pos, (seg_start, close)));
+    }
+    out
+}
+
+/// Is the ident at `k` a *use* of a local (not a field, method, path
+/// segment, or struct-literal field name)?
+fn is_local_use(code: &[Token], k: usize) -> bool {
+    let prev = if k == 0 { "" } else { text_at(code, k - 1) };
+    let next = text_at(code, k + 1);
+    prev != "." && prev != "::" && next != ":" && next != "::" && next != "!"
+}
+
+/// Evaluate the taint of an expression range: `Some(chain)` if it contains
+/// a tainted local use, a source call, or a call whose return is tainted —
+/// unless a sanitizer call in the range launders the whole expression.
+fn expr_taint(
+    fa: &FileAnalysis,
+    range: (usize, usize),
+    vars: &BTreeMap<String, Chain>,
+    spec: &TaintSpec,
+    nodes: &[crate::callgraph::FnNode],
+    st: &[NodeTaint],
+    me: usize,
+) -> Option<Chain> {
+    let code = &fa.code;
+    let (a, b) = (range.0, range.1.min(code.len()));
+    if a >= b {
+        return None;
+    }
+    for k in a..b {
+        let t = &code[k];
+        if t.kind == TokKind::Ident
+            && spec.sanitizers.contains(&t.text.as_str())
+            && text_at(code, k + 1) == "("
+        {
+            return None;
+        }
+    }
+    let mut best: Option<(usize, Chain)> = None;
+    let consider = |k: usize, c: Chain, best: &mut Option<(usize, Chain)>| {
+        if best.as_ref().is_none_or(|(bk, _)| k < *bk) {
+            *best = Some((k, c));
+        }
+    };
+    for k in a..b {
+        let t = &code[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if let Some(c) = vars.get(&t.text) {
+            if is_local_use(code, k) {
+                consider(k, c.clone(), &mut best);
+            }
+        }
+        if text_at(code, k + 1) == "(" {
+            if let Some(origin) = source_call_origin(fa, k, spec) {
+                consider(k, Chain::new(origin), &mut best);
+            }
+        }
+        if spec.ptr_cast_source && t.text == "as" && text_at(code, k + 1) == "usize" {
+            let window = code[k.saturating_sub(5)..k].iter();
+            if window
+                .filter(|w| w.kind == TokKind::Ident)
+                .any(|w| w.text.contains("ptr"))
+            {
+                consider(
+                    k,
+                    Chain::new(format!(
+                        "pointer-to-usize cast at {}:{}",
+                        fa.rel_path, t.line
+                    )),
+                    &mut best,
+                );
+            }
+        }
+    }
+    for site in &nodes[me].sites {
+        if site.tok < a || site.tok >= b {
+            continue;
+        }
+        if let Some(rc) = &st[site.callee].ret {
+            consider(
+                site.tok,
+                rc.hop(format!("`{}()`", nodes[site.callee].display)),
+                &mut best,
+            );
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Does the call at token `k` match one of the spec's source patterns?
+fn source_call_origin(fa: &FileAnalysis, k: usize, spec: &TaintSpec) -> Option<String> {
+    let code = &fa.code;
+    let t = &code[k];
+    let prev = if k == 0 { "" } else { text_at(code, k - 1) };
+    for (qual, name) in &spec.source_calls {
+        if t.text != *name {
+            continue;
+        }
+        if qual.is_empty() {
+            return Some(format!("`{}()` at {}:{}", name, fa.rel_path, t.line));
+        }
+        if prev == "::" && k >= 2 && text_at(code, k - 2) == *qual {
+            return Some(format!(
+                "`{}::{}()` at {}:{}",
+                qual, name, fa.rel_path, t.line
+            ));
+        }
+    }
+    if spec.thread_id_source && t.text == "id" && prev == "." {
+        let window = code[k.saturating_sub(8)..k].iter();
+        if window
+            .filter(|w| w.kind == TokKind::Ident)
+            .any(|w| w.text == "current" || w.text == "Thread")
+        {
+            return Some(format!(
+                "`thread::current().id()` at {}:{}",
+                fa.rel_path, t.line
+            ));
+        }
+    }
+    None
+}
+
+/// Find the matching close delimiter for the open delimiter at `open`.
+fn matching_close(code: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < code.len() && j - open < MAX_EXPR_TOKENS {
+        match text_at(code, j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j.min(code.len())
+}
+
+/// First tainted local use inside `[a, b)`, honoring the sanitizer launder.
+fn group_taint<'a>(
+    code: &[Token],
+    a: usize,
+    b: usize,
+    vars: &'a BTreeMap<String, Chain>,
+    spec: &TaintSpec,
+) -> Option<(&'a str, &'a Chain)> {
+    let b = b.min(code.len());
+    for k in a..b {
+        let t = &code[k];
+        if t.kind == TokKind::Ident
+            && spec.sanitizers.contains(&t.text.as_str())
+            && text_at(code, k + 1) == "("
+        {
+            return None;
+        }
+    }
+    for k in a..b {
+        let t = &code[k];
+        if t.kind != TokKind::Ident || !is_local_use(code, k) {
+            continue;
+        }
+        if let Some((name, c)) = vars.get_key_value(&t.text) {
+            return Some((name.as_str(), c));
+        }
+    }
+    None
+}
+
+/// `untrusted-input-taint` sinks: bare arithmetic, indexing, and capacity
+/// allocation on tainted values.
+fn sink_untrusted(
+    fa: &FileAnalysis,
+    idxs: &[usize],
+    vars: &BTreeMap<String, Chain>,
+    spec: &TaintSpec,
+    out: &mut Vec<Finding>,
+) {
+    let code = &fa.code;
+    for &k in idxs {
+        let Some(t) = code.get(k) else { continue };
+        if t.kind == TokKind::Op && matches!(t.text.as_str(), "+" | "-" | "*") {
+            let binary = k.checked_sub(1).and_then(|p| code.get(p)).is_some_and(|p| {
+                matches!(p.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
+                    || p.text == ")"
+                    || p.text == "]"
+            });
+            if !binary {
+                continue;
+            }
+            let operand = [k.wrapping_sub(1), k + 1]
+                .into_iter()
+                .filter_map(|i| code.get(i).map(|w| (i, w)))
+                .find(|(i, w)| {
+                    w.kind == TokKind::Ident && vars.contains_key(&w.text) && is_local_use(code, *i)
+                });
+            if let Some((_, w)) = operand {
+                let chain = &vars[&w.text];
+                out.push(Finding {
+                    file: fa.rel_path.clone(),
+                    line: t.line,
+                    rule: spec.rule,
+                    message: format!(
+                        "unchecked `{}` on tainted value `{}` (tainted by {}); route \
+                         input-derived lengths through checked_*/saturating_* arithmetic",
+                        t.text,
+                        w.text,
+                        chain.describe()
+                    ),
+                });
+            }
+        } else if t.kind == TokKind::Ident && text_at(code, k + 1) == "[" {
+            let close = matching_close(code, k + 1);
+            if let Some((name, chain)) = group_taint(code, k + 2, close, vars, spec) {
+                out.push(Finding {
+                    file: fa.rel_path.clone(),
+                    line: t.line,
+                    rule: spec.rule,
+                    message: format!(
+                        "slice index derived from tainted value `{}` (tainted by {}); use \
+                         `.get(…)` and propagate a decode error instead of panicking",
+                        name,
+                        chain.describe()
+                    ),
+                });
+            }
+        } else if t.kind == TokKind::Ident
+            && t.text == "with_capacity"
+            && text_at(code, k + 1) == "("
+        {
+            let close = matching_close(code, k + 1);
+            if let Some((name, chain)) = group_taint(code, k + 2, close, vars, spec) {
+                out.push(Finding {
+                    file: fa.rel_path.clone(),
+                    line: t.line,
+                    rule: spec.rule,
+                    message: format!(
+                        "`with_capacity` sized by tainted value `{}` (tainted by {}); clamp or \
+                         validate the length before allocating for hostile input",
+                        name,
+                        chain.describe()
+                    ),
+                });
+            }
+        } else if t.kind == TokKind::Ident
+            && t.text == "vec"
+            && text_at(code, k + 1) == "!"
+            && text_at(code, k + 2) == "["
+        {
+            let close = matching_close(code, k + 2);
+            // Only `vec![elem; n]` allocates by a length expression.
+            let has_semi = (k + 3..close).any(|j| text_at(code, j) == ";");
+            if !has_semi {
+                continue;
+            }
+            if let Some((name, chain)) = group_taint(code, k + 3, close, vars, spec) {
+                out.push(Finding {
+                    file: fa.rel_path.clone(),
+                    line: t.line,
+                    rule: spec.rule,
+                    message: format!(
+                        "`vec![…; n]` sized by tainted value `{}` (tainted by {}); clamp or \
+                         validate the length before allocating for hostile input",
+                        name,
+                        chain.describe()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `determinism-taint` sinks: replayed-state constructors and the seed /
+/// wire / meter calls.
+fn sink_determinism(
+    fa: &FileAnalysis,
+    idxs: &[usize],
+    vars: &BTreeMap<String, Chain>,
+    spec: &TaintSpec,
+    out: &mut Vec<Finding>,
+) {
+    let code = &fa.code;
+    let push = |line: u32, sink: &str, name: &str, chain: &Chain, out: &mut Vec<Finding>| {
+        out.push(Finding {
+            file: fa.rel_path.clone(),
+            line,
+            rule: spec.rule,
+            message: format!(
+                "nondeterministic value `{}` flows into `{}` (tainted by {}); replayed state \
+                 must derive only from (seed, round, client) — keep wall-clock, parallelism, \
+                 and address-derived values in telemetry",
+                name,
+                sink,
+                chain.describe()
+            ),
+        });
+    };
+    for &k in idxs {
+        let Some(t) = code.get(k) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = if k == 0 { "" } else { text_at(code, k - 1) };
+        let next = text_at(code, k + 1);
+        if DET_SINK_TYPES.contains(&t.text.as_str()) {
+            // `RunResult { … }` / `CommMeter(…)` construction…
+            let group_open = if next == "(" || (next == "{" && !NOT_A_LITERAL.contains(&prev)) {
+                Some(k + 1)
+            } else if next == "::"
+                && code.get(k + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                && matches!(text_at(code, k + 3), "(" | "{")
+            {
+                // …or `MethodState::Variant(…)`.
+                Some(k + 3)
+            } else {
+                None
+            };
+            if let Some(open) = group_open {
+                let close = matching_close(code, open);
+                if let Some((name, chain)) = group_taint(code, open + 1, close, vars, spec) {
+                    push(t.line, &t.text, name, chain, out);
+                }
+            }
+        } else if DET_SINK_CALLS.contains(&t.text.as_str()) && next == "(" {
+            // Skip `#[derive(…)]` attributes.
+            if k >= 2 && prev == "[" && text_at(code, k - 2) == "#" {
+                continue;
+            }
+            let close = matching_close(code, k + 1);
+            if let Some((name, chain)) = group_taint(code, k + 2, close, vars, spec) {
+                push(t.line, &t.text, name, chain, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pool-discipline
+// ---------------------------------------------------------------------------
+
+/// Atomic RMW / load / store method names whose `Ordering::Relaxed` use
+/// needs a justification pragma.
+const ATOMIC_METHODS: [&str; 13] = [
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_and",
+    "fetch_max",
+    "fetch_min",
+    "fetch_or",
+    "fetch_sub",
+    "fetch_update",
+    "fetch_xor",
+    "load",
+    "store",
+    "swap",
+];
+
+/// `pool-discipline`: the vendored thread-pool's concurrency protocol.
+/// Three checks over `vendor/rayon/src` files: (a) every
+/// `Ordering::Relaxed` needs a justification pragma, (b) Mutex acquisition
+/// order must be cycle-free (per-file lock-order graph), (c) `unsafe impl
+/// Send/Sync` needs a `// SAFETY:` comment.
+pub fn pool_discipline(
+    rel_path: &str,
+    code: &[Token],
+    items: &[Item],
+    in_test: &[bool],
+    safety_ok: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if !rel_path.starts_with("vendor/rayon/") {
+        return;
+    }
+    let test_line = |line: u32| in_test.get(line as usize).copied().unwrap_or(false);
+    relaxed_orderings(rel_path, code, &test_line, out);
+    unsafe_impl_send_sync(rel_path, code, &test_line, safety_ok, out);
+    lock_order(rel_path, code, items, out);
+}
+
+/// Check (a): naked `Ordering::Relaxed`.
+fn relaxed_orderings(
+    rel_path: &str,
+    code: &[Token],
+    test_line: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for k in 0..code.len() {
+        if !(text_at(code, k) == "Ordering"
+            && text_at(code, k + 1) == "::"
+            && text_at(code, k + 2) == "Relaxed")
+        {
+            continue;
+        }
+        let line = code[k + 2].line;
+        if test_line(line) {
+            continue;
+        }
+        // Name the atomic op for the message: walk back to the enclosing
+        // `field.method(` if it is nearby.
+        let mut what = String::from("an atomic operation");
+        for m in (k.saturating_sub(12)..k).rev() {
+            let t = &code[m];
+            if t.kind == TokKind::Ident
+                && ATOMIC_METHODS.contains(&t.text.as_str())
+                && text_at(code, m + 1) == "("
+            {
+                if m >= 2 && text_at(code, m - 1) == "." {
+                    if let Some(f) = code.get(m - 2).filter(|f| f.kind == TokKind::Ident) {
+                        what = format!("`{}.{}`", f.text, t.text);
+                        break;
+                    }
+                }
+                what = format!("`{}`", t.text);
+                break;
+            }
+        }
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line,
+            rule: "pool-discipline",
+            message: format!(
+                "`Ordering::Relaxed` on {what} without a justification pragma; state-machine \
+                 atomics need Acquire/Release, or a `// fedlint::allow(pool-discipline): …` \
+                 stating why reordering is harmless"
+            ),
+        });
+    }
+}
+
+/// Check (c): `unsafe impl Send/Sync` without a SAFETY comment. Overlaps
+/// with `unsafe-needs-safety-comment` deliberately — the pool's Send/Sync
+/// claims are load-bearing enough to gate under both names.
+fn unsafe_impl_send_sync(
+    rel_path: &str,
+    code: &[Token],
+    test_line: &dyn Fn(u32) -> bool,
+    safety_ok: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for k in 0..code.len() {
+        if !(text_at(code, k) == "unsafe" && text_at(code, k + 1) == "impl") {
+            continue;
+        }
+        let line = code[k].line;
+        if test_line(line) || safety_ok(line) {
+            continue;
+        }
+        // Find the trait name between `impl` and the body / `for`.
+        let mut traited = None;
+        for j in k + 2..(k + 16).min(code.len()) {
+            match text_at(code, j) {
+                "Send" | "Sync" => {
+                    traited = Some(text_at(code, j).to_string());
+                    break;
+                }
+                "{" | ";" | "for" => break,
+                _ => {}
+            }
+        }
+        let Some(traited) = traited else { continue };
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line,
+            rule: "pool-discipline",
+            message: format!(
+                "`unsafe impl {traited}` without a `// SAFETY:` comment; the pool's thread-safety \
+                 claims must document the invariant that makes cross-thread access sound"
+            ),
+        });
+    }
+}
+
+/// One held lock guard during the lock-order walk.
+struct Guard {
+    lock: String,
+    var: Option<String>,
+    depth: i64,
+    line: u32,
+}
+
+/// Check (b): build the per-file lock acquisition-order graph and report
+/// every acquisition edge that participates in a cycle (including
+/// re-acquiring a lock already held).
+fn lock_order(rel_path: &str, code: &[Token], items: &[Item], out: &mut Vec<Finding>) {
+    // (held lock -> acquired lock) -> first acquisition site line.
+    let mut edges: BTreeMap<(String, String), u32> = BTreeMap::new();
+    for item in items {
+        if item.kind != ItemKind::Fn || item.is_test {
+            continue;
+        }
+        let idxs = crate::callgraph::body_indices(item, items);
+        let mut held: Vec<Guard> = Vec::new();
+        let mut depth = 1i64;
+        for &k in &idxs {
+            let t = &code[k];
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    held.retain(|g| g.depth <= depth);
+                }
+                ";" => held.retain(|g| !(g.var.is_none() && g.depth >= depth)),
+                "drop"
+                    if text_at(code, k + 1) == "("
+                        && code.get(k + 2).is_some_and(|a| a.kind == TokKind::Ident)
+                        && text_at(code, k + 3) == ")" =>
+                {
+                    let var = text_at(code, k + 2).to_string();
+                    held.retain(|g| g.var.as_deref() != Some(var.as_str()));
+                }
+                "lock" if t.kind == TokKind::Ident => {
+                    let prev = if k == 0 { "" } else { text_at(code, k - 1) };
+                    let name = if prev == "." {
+                        receiver_name(code, k.saturating_sub(1))
+                    } else if text_at(code, k + 1) == "(" {
+                        last_ident_in_group(code, k + 1)
+                    } else {
+                        None
+                    };
+                    let Some(name) = name else { continue };
+                    let bound = let_bound_var(code, k);
+                    if let Some(v) = &bound {
+                        // Reassignment drops the old guard before the new
+                        // acquisition completes.
+                        held.retain(|g| g.var.as_deref() != Some(v.as_str()));
+                    }
+                    for g in &held {
+                        if g.lock == name {
+                            out.push(Finding {
+                                file: rel_path.to_string(),
+                                line: t.line,
+                                rule: "pool-discipline",
+                                message: format!(
+                                    "lock `{}` acquired while already held (first acquired at \
+                                     line {}); self-deadlock on a non-reentrant Mutex",
+                                    name, g.line
+                                ),
+                            });
+                        } else {
+                            edges
+                                .entry((g.lock.clone(), name.clone()))
+                                .or_insert(t.line);
+                        }
+                    }
+                    held.push(Guard {
+                        lock: name,
+                        var: bound,
+                        depth,
+                        line: t.line,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().insert(b.as_str());
+    }
+    for ((a, b), line) in &edges {
+        if let Some(path) = find_path(&adj, b, a) {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: *line,
+                rule: "pool-discipline",
+                message: format!(
+                    "lock-order cycle: `{}` is held while acquiring `{}` here, but elsewhere \
+                     {}; impose one global acquisition order",
+                    a,
+                    b,
+                    path_text(&path)
+                ),
+            });
+        }
+    }
+}
+
+/// Deterministic DFS path from `from` to `to` in the lock graph.
+fn find_path<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut stack = vec![vec![from]];
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    while let Some(path) = stack.pop() {
+        let cur = *path.last()?;
+        if cur == to {
+            return Some(path);
+        }
+        if !seen.insert(cur) {
+            continue;
+        }
+        if let Some(nexts) = adj.get(cur) {
+            // Reverse so the lexicographically smallest neighbour pops first.
+            for n in nexts.iter().rev() {
+                let mut p = path.clone();
+                p.push(n);
+                stack.push(p);
+            }
+        }
+    }
+    None
+}
+
+fn path_text(path: &[&str]) -> String {
+    let hops: Vec<String> = path.iter().map(|p| format!("`{p}`")).collect();
+    format!("{} is (transitively) acquired", hops.join(" -> "))
+}
+
+/// The receiver field/local of a `.lock()` call: the identifier ending the
+/// postfix chain before the dot at `dot`.
+fn receiver_name(code: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot.checked_sub(1)?;
+    if text_at(code, j) == "]" {
+        // Skip a balanced index group: `slots[i].lock()`.
+        let mut depth = 0i64;
+        loop {
+            match text_at(code, j) {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j = j.checked_sub(1)?;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j = j.checked_sub(1)?;
+        }
+    }
+    code.get(j)
+        .filter(|t| t.kind == TokKind::Ident && t.text != "self")
+        .map(|t| t.text.clone())
+}
+
+/// The last identifier inside a call's argument group — for the free-fn
+/// form `lock(&self.queue)`, that names the Mutex field.
+fn last_ident_in_group(code: &[Token], open: usize) -> Option<String> {
+    let close = matching_close(code, open);
+    code[open + 1..close.min(code.len())]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident && t.text != "self" && t.text != "mut")
+        .map(|t| t.text.clone())
+}
+
+/// Was the acquisition at token `k` bound by a `let` in the same statement?
+/// Returns the bound variable name.
+fn let_bound_var(code: &[Token], k: usize) -> Option<String> {
+    let floor = k.saturating_sub(16);
+    let mut j = k;
+    while j > floor {
+        j -= 1;
+        match text_at(code, j) {
+            ";" | "{" | "}" => return None,
+            "let" => {
+                let name = code
+                    .get(j + 1)
+                    .filter(|t| t.text == "mut")
+                    .map(|_| j + 2)
+                    .unwrap_or(j + 1);
+                return code
+                    .get(name)
+                    .filter(|t| t.kind == TokKind::Ident && is_local_name(&t.text))
+                    .map(|t| t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn flows_of(src: &str) -> (Vec<Token>, Vec<FnFlow>) {
+        let code: Vec<Token> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        let in_test = vec![false; src.lines().count() + 3];
+        let items = crate::items::parse_items(&code, &in_test);
+        let flows = fn_flows(&code, &items);
+        (code, flows)
+    }
+
+    #[test]
+    fn params_defs_and_rets_are_recovered() {
+        let (_, flows) = flows_of(
+            "fn f(a: usize, b: &[u8]) -> usize {\n    let c = a + 1;\n    let mut d = c;\n    d = b.len();\n    return d;\n}\n",
+        );
+        assert_eq!(flows.len(), 1);
+        let f = &flows[0];
+        assert!(!f.has_receiver);
+        assert_eq!(
+            f.params,
+            vec![
+                Param {
+                    name: "a".into(),
+                    position: 0
+                },
+                Param {
+                    name: "b".into(),
+                    position: 1
+                }
+            ]
+        );
+        let names: Vec<&str> = f.defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["c", "d", "d"]);
+        assert_eq!(
+            f.rets.len(),
+            1,
+            "one explicit return; a body ending in `return x;` has no tail expression"
+        );
+    }
+
+    #[test]
+    fn receiver_and_generics_are_handled() {
+        let (_, flows) =
+            flows_of("impl T { fn m<X: Into<u32>>(&mut self, n: X) -> u32 { n.into() } }\n");
+        assert_eq!(flows.len(), 1);
+        assert!(flows[0].has_receiver);
+        assert_eq!(
+            flows[0].params,
+            vec![Param {
+                name: "n".into(),
+                position: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn nested_let_defs_are_seen() {
+        let (_, flows) = flows_of("fn f(x: u32) -> u32 { let a = { let b = x; b }; a }\n");
+        let names: Vec<&str> = flows[0].defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn def_spans_nest_or_are_disjoint() {
+        let (_, flows) =
+            flows_of("fn f(x: u32) -> u32 { let a = { let b = x + 1; b }; let c = a; c }\n");
+        let spans: Vec<(usize, usize)> = flows[0].defs.iter().map(|d| d.rhs).collect();
+        for (i, &(a0, a1)) in spans.iter().enumerate() {
+            assert!(a0 <= a1);
+            for &(b0, b1) in spans.iter().skip(i + 1) {
+                let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+                let disjoint = a1 <= b0 || b1 <= a0;
+                assert!(
+                    nested || disjoint,
+                    "overlap: {:?} vs {:?}",
+                    (a0, a1),
+                    (b0, b1)
+                );
+            }
+        }
+    }
+}

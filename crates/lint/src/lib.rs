@@ -6,8 +6,9 @@
 //! `unsafe`) previously lived only in review culture. This crate enforces
 //! them mechanically: a from-scratch, comment/string/char-literal-aware
 //! lexer ([`lexer`]) feeds a set of named rules ([`rules`]) over every
-//! `crates/*/src` file, and the driver here renders deterministic, sorted
-//! human and JSON reports. `fedlint --deny` is a CI gate (`scripts/ci.sh`).
+//! `crates/*/src` and `vendor/*/src` file, and the driver here renders
+//! deterministic, sorted human and JSON reports. `fedlint --deny` is a CI
+//! gate (`scripts/ci.sh`).
 //!
 //! Output determinism is part of the contract: files are walked in sorted
 //! order, findings are sorted by `(file, line, rule, message)`, and the JSON
@@ -18,11 +19,14 @@
 //! [`items`], tokens, pragmas). Pass two feeds every analysis to
 //! [`callgraph`], which builds the approximate intra-workspace call graph
 //! and runs the cross-file rules (`panic-reachability`,
-//! `rng-stream-collision`). The [`baseline`] module implements the CI
-//! ratchet: baselined findings warn, new findings fail `--deny`.
+//! `rng-stream-collision`, plus the [`dataflow`]-driven taint rules
+//! `untrusted-input-taint` and `determinism-taint`). The [`baseline`]
+//! module implements the CI ratchet: baselined findings warn, new findings
+//! fail `--deny`.
 
 pub mod baseline;
 pub mod callgraph;
+pub mod dataflow;
 pub mod items;
 pub mod lexer;
 pub mod rules;
@@ -64,8 +68,10 @@ impl Report {
     }
 }
 
-/// Scan every `crates/*/src/**/*.rs` under `root` and return the sorted
-/// report. `root` is the workspace root (the directory containing `crates/`).
+/// Scan every `crates/*/src/**/*.rs` — plus `vendor/*/src/**/*.rs` when a
+/// `vendor/` directory exists (the thread pool's concurrency protocol is
+/// linted too) — under `root` and return the sorted report. `root` is the
+/// workspace root (the directory containing `crates/`).
 pub fn scan_workspace(root: &Path) -> Result<Report, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
@@ -74,6 +80,16 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
         .filter(|p| p.is_dir() && p.join("src").is_dir())
         .collect();
     crate_dirs.sort();
+    let vendor_dir = root.join("vendor");
+    if vendor_dir.is_dir() {
+        let mut vendor_dirs: Vec<PathBuf> = std::fs::read_dir(&vendor_dir)
+            .map_err(|e| format!("cannot read {}: {e}", vendor_dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir() && p.join("src").is_dir())
+            .collect();
+        vendor_dirs.sort();
+        crate_dirs.extend(vendor_dirs);
+    }
 
     // Pass one: per-file token/line rules plus structure recovery.
     let mut analyses = Vec::new();
@@ -206,21 +222,26 @@ pub fn render_json(report: &Report) -> String {
     render_json_with(report, None)
 }
 
-/// JSON report (schema 2) with optional baseline classification. Without a
-/// baseline every finding counts as new.
+/// JSON report (schema 3) with optional baseline classification. Without a
+/// baseline every finding counts as new. `counts` carries every known rule
+/// (zero-filled), so per-rule trends diff cleanly across commits.
 pub fn render_json_with(report: &Report, ratchet: Option<&baseline::Classified>) -> String {
     let (baselined, fresh) = match ratchet {
         Some(c) => (c.baselined(), c.fresh()),
         None => (0, report.findings.len()),
     };
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": 2,");
+    let _ = writeln!(out, "  \"schema\": 3,");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(out, "  \"total_findings\": {},", report.findings.len());
     let _ = writeln!(out, "  \"baselined_findings\": {baselined},");
     let _ = writeln!(out, "  \"new_findings\": {fresh},");
     out.push_str("  \"counts\": {");
-    let counts = report.counts();
+    let mut counts: BTreeMap<&str, usize> = rules::RULE_NAMES.iter().map(|r| (*r, 0)).collect();
+    counts.insert("pragma-syntax", 0);
+    for f in &report.findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
     for (i, (rule, n)) in counts.iter().enumerate() {
         let sep = if i + 1 < counts.len() { "," } else { "" };
         let _ = write!(out, "\n    \"{rule}\": {n}{sep}");

@@ -6,7 +6,7 @@
 //!
 //! * `--deny` — exit nonzero if any *new* finding (or malformed pragma)
 //!   remains; with `--baseline`, baselined findings only warn.
-//! * `--json` — print the JSON report (schema 2) to stdout and also write it
+//! * `--json` — print the JSON report (schema 3) to stdout and also write it
 //!   to `<root>/results/lint_report.json` for trend tracking.
 //! * `--baseline <file>` — ratchet file, resolved relative to the workspace
 //!   root; findings whose `(file, rule, message)` appear in it are
@@ -18,8 +18,22 @@
 //!   directory until `Cargo.toml` + `crates/` are found.
 
 use lint::baseline::Baseline;
-use std::path::PathBuf;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Write a persisted artifact atomically: tmp sibling → write → fsync →
+/// rename. A crash mid-write can never leave a torn report or baseline.
+fn write_atomic(target: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = target.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, target)
+}
 
 fn main() -> ExitCode {
     let mut deny = false;
@@ -96,7 +110,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
-        if let Err(e) = std::fs::write(&target, rendered.as_bytes()) {
+        if let Err(e) = write_atomic(&target, rendered.as_bytes()) {
             eprintln!("fedlint: could not write {}: {e}", target.display());
             return ExitCode::from(2);
         }
@@ -139,7 +153,7 @@ fn main() -> ExitCode {
         let results_dir = root.join("results");
         let target = results_dir.join("lint_report.json");
         if let Err(e) = std::fs::create_dir_all(&results_dir)
-            .and_then(|()| std::fs::write(&target, rendered.as_bytes()))
+            .and_then(|()| write_atomic(&target, rendered.as_bytes()))
         {
             eprintln!("fedlint: could not write {}: {e}", target.display());
             return ExitCode::from(2);

@@ -14,6 +14,9 @@
 //! | `atomic-write-discipline` | persisted writes follow tmp → fsync → rename |
 //! | `panic-reachability` | public library fns cannot *transitively* panic ([`crate::callgraph`]) |
 //! | `rng-stream-collision` | stream labels unique; one stream per scope ([`crate::callgraph`]) |
+//! | `untrusted-input-taint` | input-derived lengths are checked before arith/index/alloc ([`crate::dataflow`]) |
+//! | `determinism-taint` | nondeterministic values never flow into replayed state ([`crate::dataflow`]) |
+//! | `pool-discipline` | the vendored pool's atomics, lock order, and `unsafe impl`s follow protocol ([`crate::dataflow`]) |
 //!
 //! Exemptions are granted per line by a pragma comment:
 //! `// fedlint::allow(<rule>): <reason>` — the reason is mandatory, and the
@@ -27,17 +30,20 @@ use crate::lexer::{lex, TokKind, Token};
 use crate::Finding;
 
 /// Rule identifiers, sorted, as accepted by the allow pragma.
-pub const RULE_NAMES: [&str; 10] = [
+pub const RULE_NAMES: [&str; 13] = [
     "atomic-write-discipline",
     "codec-checked-arith",
+    "determinism-taint",
     "deterministic-iteration",
     "deterministic-reduction",
     "float-eq",
     "no-panic-paths",
     "panic-reachability",
+    "pool-discipline",
     "rng-stream-collision",
     "rng-stream-discipline",
     "unsafe-needs-safety-comment",
+    "untrusted-input-taint",
 ];
 
 /// Crates whose library code must be panic-free (`no-panic-paths`).
@@ -139,6 +145,15 @@ pub fn analyze_source(ctx: &FileContext<'_>, src: &str) -> FileAnalysis {
     rule_float_eq(ctx, &code, &info, &mut findings);
     rule_codec_checked_arith(ctx, &code_owned, &items, &mut findings);
     rule_atomic_write(ctx, &code_owned, &items, &mut findings);
+    let safety_ok = |line: u32| safety_reachable(&info, line);
+    crate::dataflow::pool_discipline(
+        ctx.rel_path,
+        &code_owned,
+        &items,
+        &info.in_test,
+        &safety_ok,
+        &mut findings,
+    );
 
     // Apply pragma suppression: a valid pragma covers its line and the next.
     findings.retain(|f| {
@@ -346,6 +361,27 @@ fn push(ctx: &FileContext<'_>, out: &mut Vec<Finding>, line: u32, rule: &'static
     });
 }
 
+/// Is a `SAFETY:` comment on `line` itself, or reachable by walking up
+/// through comment, attribute, and blank lines only? Shared by
+/// `unsafe-needs-safety-comment` and `pool-discipline`.
+fn safety_reachable(info: &LineInfo, line: u32) -> bool {
+    if LineInfo::get(&info.has_safety, line) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    let floor = line.saturating_sub(SAFETY_WALK_LIMIT);
+    while l > floor && l > 0 {
+        if LineInfo::get(&info.has_safety, l) {
+            return true;
+        }
+        if LineInfo::get(&info.has_code, l) && !LineInfo::get(&info.starts_attr, l) {
+            return false; // a real code line interrupts the comment run
+        }
+        l -= 1;
+    }
+    false
+}
+
 /// `unsafe-needs-safety-comment`: every `unsafe` token must have a comment
 /// containing `SAFETY:` on its own line or reachable by walking up through
 /// comment, attribute, and blank lines only.
@@ -359,18 +395,7 @@ fn rule_unsafe_safety(
         if !(t.kind == TokKind::Ident && t.text == "unsafe") {
             continue;
         }
-        let mut ok = LineInfo::get(&info.has_safety, t.line);
-        let mut l = t.line.saturating_sub(1);
-        let floor = t.line.saturating_sub(SAFETY_WALK_LIMIT);
-        while !ok && l > floor && l > 0 {
-            if LineInfo::get(&info.has_safety, l) {
-                ok = true;
-            } else if LineInfo::get(&info.has_code, l) && !LineInfo::get(&info.starts_attr, l) {
-                break; // a real code line interrupts the comment run
-            }
-            l -= 1;
-        }
-        if !ok {
+        if !safety_reachable(info, t.line) {
             push(
                 ctx,
                 out,
@@ -764,18 +789,24 @@ fn lenish_exempt(name: &str) -> bool {
     false
 }
 
-/// `atomic-write-discipline`: in checkpoint/persist modules, a function
-/// that creates or writes a file must also fsync (`sync_all`/`sync_data`)
-/// and `rename` before returning — the torn-write-safe tmp → fsync → rename
-/// protocol must never be split across helpers where a crash window hides.
+/// `atomic-write-discipline`: in checkpoint/persist modules and the lint
+/// CLI itself, a function that creates or writes a file must also fsync
+/// (`sync_all`/`sync_data`) and `rename` before returning — the
+/// torn-write-safe tmp → fsync → rename protocol must never be split across
+/// helpers where a crash window hides.
 fn rule_atomic_write(
     ctx: &FileContext<'_>,
     code: &[Token],
     items: &[Item],
     out: &mut Vec<Finding>,
 ) {
-    let applies = ctx.rel_path.ends_with("/checkpoint.rs") || ctx.rel_path.ends_with("/persist.rs");
-    if ctx.is_bin || !applies {
+    // The lint CLI's own report/baseline writes are persisted artifacts too
+    // (dogfooding): it is a binary, but the discipline still applies.
+    let lint_cli = ctx.rel_path.ends_with("lint/src/main.rs");
+    let applies = ctx.rel_path.ends_with("/checkpoint.rs")
+        || ctx.rel_path.ends_with("/persist.rs")
+        || lint_cli;
+    if (ctx.is_bin && !lint_cli) || !applies {
         return;
     }
     for item in items {
@@ -797,6 +828,13 @@ fn rule_atomic_write(
             let nth_is = |off: usize, txt: &str| code.get(k + off).is_some_and(|n| n.text == txt);
             if t.text == "File" && next_is("::") && nth_is(2, "create") {
                 trigger.get_or_insert((t.line, "File::create"));
+            } else if t.text == "write"
+                && next_is("(")
+                && k >= 2
+                && code[k - 1].text == "::"
+                && code[k - 2].text == "fs"
+            {
+                trigger.get_or_insert((t.line, "fs::write"));
             } else if t.text == "write_all"
                 && next_is("(")
                 && k.checked_sub(1)

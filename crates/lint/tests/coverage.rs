@@ -1,0 +1,119 @@
+//! Rule-coverage meta-test: every rule in `RULE_NAMES` (plus the built-in
+//! `pragma-syntax`) must have at least one positive fixture finding and at
+//! least one negative fixture that declares it clean-covers the rule via a
+//! `// fedlint-fixture: covers <rule>[, <rule>]` marker. New rules cannot
+//! ship untested: adding a name to `RULE_NAMES` without fixtures fails here.
+
+use lint::rules::RULE_NAMES;
+use lint::scan_workspace;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+const MARKER: &str = "// fedlint-fixture: covers ";
+
+fn fixture_root(which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(which)
+}
+
+/// All rule names the suite must cover.
+fn all_rules() -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = RULE_NAMES.to_vec();
+    rules.push("pragma-syntax");
+    rules
+}
+
+/// Collect `covers` markers from every `.rs` file under `dir`, as
+/// rule -> files claiming negative coverage.
+fn collect_markers(dir: &Path, out: &mut BTreeMap<String, Vec<String>>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_markers(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            let text = std::fs::read_to_string(&path).expect("fixture readable");
+            for line in text.lines() {
+                let Some(rules) = line.trim().strip_prefix(MARKER) else {
+                    continue;
+                };
+                for rule in rules.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+                    out.entry(rule.to_string())
+                        .or_default()
+                        .push(path.display().to_string());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_rule_has_a_positive_fixture_finding() {
+    let report = scan_workspace(&fixture_root("positive")).expect("positive fixture scans");
+    let fired: BTreeSet<&str> = report.findings.iter().map(|f| f.rule).collect();
+    for rule in all_rules() {
+        assert!(
+            fired.contains(rule),
+            "rule `{rule}` has no positive fixture finding — every rule needs a fixture that \
+             makes it fire"
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_negative_coverage_marker() {
+    let mut markers: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    collect_markers(&fixture_root("negative"), &mut markers);
+    let known = all_rules();
+    for (rule, files) in &markers {
+        assert!(
+            known.contains(&rule.as_str()),
+            "marker in {:?} names unknown rule `{rule}` — fix the typo or register the rule",
+            files
+        );
+    }
+    for rule in known {
+        assert!(
+            markers.contains_key(rule),
+            "rule `{rule}` has no negative fixture marker — add \
+             `{MARKER}{rule}` to a clean fixture exercising its safe shape"
+        );
+    }
+}
+
+#[test]
+fn negative_markers_sit_in_a_clean_tree() {
+    // The markers certify clean coverage, so the tree they sit in must
+    // actually be clean — otherwise a marker could point at a file whose
+    // "safe shape" secretly fires.
+    let report = scan_workspace(&fixture_root("negative")).expect("negative fixture scans");
+    assert_eq!(report.findings, Vec::new());
+}
+
+#[test]
+fn positive_fixture_pins_exact_lines_for_dataflow_rules() {
+    // Exact-line anchors for the v3 rules, per the coverage contract: a
+    // finding that drifts off its seeded line is a precision regression.
+    let report = scan_workspace(&fixture_root("positive")).expect("positive fixture scans");
+    let lines = |rule: &str, suffix: &str| -> Vec<u32> {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule && f.file.ends_with(suffix))
+            .map(|f| f.line)
+            .collect()
+    };
+    assert_eq!(
+        lines("untrusted-input-taint", "taint_len.rs"),
+        vec![11, 12, 16]
+    );
+    assert_eq!(lines("determinism-taint", "taint_time.rs"), vec![11, 24]);
+    assert_eq!(
+        lines("pool-discipline", "pool_bad.rs"),
+        vec![13, 16, 21, 27]
+    );
+}

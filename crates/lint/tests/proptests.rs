@@ -1,10 +1,15 @@
-//! Property tests for the fedlint lexer and item parser: arbitrary byte
-//! soup must never panic them, hang them, or make them nondeterministic,
-//! and parsed item spans must always nest properly.
+//! Property tests for the fedlint lexer, item parser, and dataflow engine:
+//! arbitrary byte soup must never panic them, hang them, or make them
+//! nondeterministic; parsed item spans and def-use spans must always nest
+//! properly; and the taint lattice must be monotone (adding a source can
+//! only add findings, never remove one).
 
+use lint::dataflow::{fn_flows, taint_findings, untrusted_input_spec};
 use lint::items::parse_items;
 use lint::lexer::{lex, TokKind};
+use lint::rules::{analyze_source, FileContext};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 /// Lex `src` and run the item parser the way `analyze_source` does:
 /// comment tokens stripped, every token treated as non-test code.
@@ -106,5 +111,106 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The dataflow extractor survives arbitrary byte soup and is
+    /// deterministic (runs on the same comment-free stream the scanner uses).
+    #[test]
+    fn dataflow_never_panics_on_byte_soup(bytes in proptest::collection::vec(0u8..=255, 0..2048)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let toks: Vec<_> = lex(&src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        let in_test = vec![false; toks.len()];
+        let items = parse_items(&toks, &in_test);
+        let a = fn_flows(&toks, &items);
+        let b = fn_flows(&toks, &items);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Structured soup biased toward dataflow-relevant shapes: half-written
+    /// `let`s, assignments, reads, calls, returns. The whole analysis —
+    /// per-file rules plus the interprocedural taint pass — must never
+    /// panic, and every def's right-hand-side span must stay in bounds and
+    /// nest-or-stay-disjoint with every other's.
+    #[test]
+    fn def_use_spans_nest_on_structured_soup(picks in proptest::collection::vec(0usize..16, 0..256)) {
+        const PIECES: [&str; 16] = [
+            "fn f(x: usize)", "{", "}", "let y =", "std::fs::read(p)",
+            "x + 1", "buf[i]", "Vec::with_capacity(n)", "return x", ";",
+            "f(x)", ".min(4)", "=", "if let Some(z)", "\n", "x",
+        ];
+        let src: String = picks
+            .iter()
+            .map(|&i| PIECES.get(i).copied().unwrap_or(""))
+            .map(|p| format!("{} ", p))
+            .collect();
+        let ctx = FileContext {
+            crate_name: "fl",
+            rel_path: "crates/fl/src/soup.rs",
+            is_bin: false,
+        };
+        let fa = analyze_source(&ctx, &src);
+        let files = [fa];
+        let t1 = taint_findings(&files, &untrusted_input_spec());
+        let t2 = taint_findings(&files, &untrusted_input_spec());
+        prop_assert_eq!(t1, t2);
+        let flows = fn_flows(&files[0].code, &files[0].items);
+        let spans: Vec<(usize, usize)> = flows
+            .iter()
+            .flat_map(|f| f.defs.iter().map(|d| d.rhs))
+            .collect();
+        for (i, &(a0, a1)) in spans.iter().enumerate() {
+            prop_assert!(a0 <= a1, "inverted def span");
+            prop_assert!(a1 <= files[0].code.len(), "def span out of bounds");
+            for &(b0, b1) in spans.iter().skip(i + 1) {
+                let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+                let disjoint = a1 <= b0 || b1 <= a0;
+                prop_assert!(
+                    nested || disjoint,
+                    "overlapping def spans: {:?} vs {:?}",
+                    (a0, a1),
+                    (b0, b1)
+                );
+            }
+        }
+    }
+
+    /// Monotone taint lattice: running with a superset of sources can add
+    /// findings but never remove one — pinned as (file, line) set inclusion
+    /// (chains, and so messages, may legitimately differ).
+    #[test]
+    fn taint_lattice_is_monotone(picks in proptest::collection::vec(0usize..16, 0..192)) {
+        const PIECES: [&str; 16] = [
+            "fn g(buf: &[u8])", "{", "}", "let n =", "std::fs::read(p)",
+            "std::fs::read_to_string(p)", "f.read_to_end(&mut buf)", "n * 2",
+            "buf[n]", "Vec::with_capacity(n)", ";", "g(&n)", ".len()",
+            "=", "\n", "n",
+        ];
+        let src: String = picks
+            .iter()
+            .map(|&i| PIECES.get(i).copied().unwrap_or(""))
+            .map(|p| format!("{} ", p))
+            .collect();
+        let ctx = FileContext {
+            crate_name: "fl",
+            rel_path: "crates/fl/src/soup.rs",
+            is_bin: false,
+        };
+        let files = [analyze_source(&ctx, &src)];
+        let mut small = untrusted_input_spec();
+        small.source_calls = vec![("fs", "read")];
+        small.source_mut_args = Vec::new();
+        let big = untrusted_input_spec();
+        let key = |f: &lint::Finding| (f.file.clone(), f.line);
+        let small_set: BTreeSet<_> = taint_findings(&files, &small).iter().map(key).collect();
+        let big_set: BTreeSet<_> = taint_findings(&files, &big).iter().map(key).collect();
+        prop_assert!(
+            small_set.is_subset(&big_set),
+            "adding sources removed findings: {:?} not in {:?}",
+            small_set.difference(&big_set).collect::<Vec<_>>(),
+            big_set
+        );
     }
 }

@@ -78,6 +78,57 @@ fn positive_fixture_fires_every_rule() {
         vec![6, 11],
         "duplicate constant value + re-consumed stream slice"
     );
+    // v3 dataflow/taint rules.
+    assert_eq!(
+        lines_for(&report, "untrusted-input-taint", "taint_len.rs"),
+        vec![11, 12, 16],
+        "with_capacity, bare `*`, and bare indexing on a disk-derived length"
+    );
+    assert_eq!(
+        lines_for(&report, "determinism-taint", "taint_time.rs"),
+        vec![11, 24],
+        "wall-clock into a RunResult literal and into seed derivation"
+    );
+    assert_eq!(
+        lines_for(&report, "pool-discipline", "pool_bad.rs"),
+        vec![13, 16, 21, 27],
+        "unjustified unsafe impl Send, naked Relaxed, both halves of a lock cycle"
+    );
+}
+
+#[test]
+fn taint_findings_carry_the_full_chain() {
+    let report = scan("positive");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "untrusted-input-taint" && f.line == 11)
+        .expect("with_capacity finding present");
+    assert_eq!(f.file, "crates/fl/src/taint_len.rs");
+    for hop in [
+        "`fs::read()` at crates/fl/src/taint_len.rs:5",
+        "`raw`",
+        "arg #0 of `parse_report`",
+        "`header_len()`",
+        "`n`",
+    ] {
+        assert!(
+            f.message.contains(hop),
+            "chain must spell out hop {hop}: {}",
+            f.message
+        );
+    }
+    let d = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "determinism-taint" && f.line == 11)
+        .expect("RunResult finding present");
+    assert!(
+        d.message
+            .contains("`Instant::now()` at crates/fl/src/taint_time.rs:18 -> `now` -> `elapsed_ms()` -> `wall`"),
+        "return-value hop must appear in the chain: {}",
+        d.message
+    );
 }
 
 #[test]
@@ -114,7 +165,7 @@ fn negative_fixture_is_clean() {
         Vec::new(),
         "negative fixture must scan clean"
     );
-    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.files_scanned, 9);
 }
 
 #[test]
@@ -167,5 +218,98 @@ fn seeded_violation_is_caught_with_file_line_diagnostic() {
     assert!(
         human.contains("crates/cluster/src/hac.rs:2: [deterministic-iteration]"),
         "diagnostic must carry file:line and the rule name:\n{human}"
+    );
+}
+
+#[test]
+fn seeded_unchecked_tainted_length_is_caught() {
+    // Acceptance criterion: an unchecked length that flowed in from disk
+    // must fail with a file:line diagnostic carrying the taint chain.
+    let scratch = std::env::temp_dir().join(format!("fedlint-taint-{}", std::process::id()));
+    let src = scratch.join("crates").join("fl").join("src");
+    std::fs::create_dir_all(&src).expect("scratch tree");
+    std::fs::write(
+        src.join("wire.rs"),
+        "pub fn decode_len(path: &std::path::Path) -> Vec<u8> {\n    \
+         let bytes = std::fs::read(path).unwrap_or_default();\n    \
+         let n = bytes.first().copied().unwrap_or(0) as usize;\n    \
+         Vec::with_capacity(n * 8)\n}\n",
+    )
+    .expect("write seeded violation");
+    let report = scan_workspace(&scratch).expect("scratch scans");
+    std::fs::remove_dir_all(&scratch).ok();
+    let hits = lines_for(&report, "untrusted-input-taint", "wire.rs");
+    assert_eq!(hits, vec![4, 4], "arithmetic + allocation sinks on line 4");
+    let human = lint::render_human(&report);
+    assert!(
+        human.contains("crates/fl/src/wire.rs:4: [untrusted-input-taint]"),
+        "diagnostic must carry file:line and the rule name:\n{human}"
+    );
+    assert!(
+        human.contains("`fs::read()` at crates/fl/src/wire.rs:2"),
+        "diagnostic must name the taint origin:\n{human}"
+    );
+}
+
+#[test]
+fn seeded_instant_into_checkpoint_is_caught() {
+    // Acceptance criterion: an `Instant::now` reading flowed into a
+    // checkpoint constructor must fail with the full chain in the message.
+    let scratch = std::env::temp_dir().join(format!("fedlint-det-{}", std::process::id()));
+    let src = scratch.join("crates").join("fl").join("src");
+    std::fs::create_dir_all(&src).expect("scratch tree");
+    std::fs::write(
+        src.join("resume.rs"),
+        "pub struct Checkpoint {\n    pub stamp: u64,\n}\n\n\
+         pub fn snapshot() -> Checkpoint {\n    \
+         let stamp = std::time::Instant::now().elapsed().as_nanos() as u64;\n    \
+         Checkpoint { stamp }\n}\n",
+    )
+    .expect("write seeded violation");
+    let report = scan_workspace(&scratch).expect("scratch scans");
+    std::fs::remove_dir_all(&scratch).ok();
+    let hits = lines_for(&report, "determinism-taint", "resume.rs");
+    assert_eq!(hits, vec![7], "the Checkpoint literal is the sink");
+    let human = lint::render_human(&report);
+    assert!(
+        human.contains("crates/fl/src/resume.rs:7: [determinism-taint]"),
+        "diagnostic must carry file:line and the rule name:\n{human}"
+    );
+    assert!(
+        human.contains("`Instant::now()` at crates/fl/src/resume.rs:6 -> `stamp`"),
+        "diagnostic must carry the taint chain:\n{human}"
+    );
+}
+
+#[test]
+fn seeded_reversed_lock_pair_is_caught() {
+    // Acceptance criterion: a reversed Mutex pair in the vendored pool must
+    // fail with both cycle halves anchored to file:line.
+    let scratch = std::env::temp_dir().join(format!("fedlint-pool-{}", std::process::id()));
+    std::fs::create_dir_all(scratch.join("crates")).expect("scratch tree");
+    let src = scratch.join("vendor").join("rayon").join("src");
+    std::fs::create_dir_all(&src).expect("scratch vendor tree");
+    std::fs::write(
+        src.join("queue.rs"),
+        "use std::sync::Mutex;\n\npub struct Q {\n    pub head: Mutex<u32>,\n    \
+         pub tail: Mutex<u32>,\n}\n\npub fn push(q: &Q) -> u32 {\n    \
+         let h = q.head.lock().unwrap();\n    let t = q.tail.lock().unwrap();\n    \
+         *h + *t\n}\n\npub fn pop(q: &Q) -> u32 {\n    \
+         let t = q.tail.lock().unwrap();\n    let h = q.head.lock().unwrap();\n    \
+         *h - *t\n}\n",
+    )
+    .expect("write seeded violation");
+    let report = scan_workspace(&scratch).expect("scratch scans");
+    std::fs::remove_dir_all(&scratch).ok();
+    let hits = lines_for(&report, "pool-discipline", "queue.rs");
+    assert_eq!(hits, vec![10, 16], "both halves of the reversed pair");
+    let human = lint::render_human(&report);
+    assert!(
+        human.contains("vendor/rayon/src/queue.rs:10: [pool-discipline]"),
+        "diagnostic must carry file:line and the rule name:\n{human}"
+    );
+    assert!(
+        human.contains("`head` is held while acquiring `tail`"),
+        "diagnostic must name the cycle:\n{human}"
     );
 }

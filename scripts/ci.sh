@@ -14,7 +14,11 @@ echo "== lints =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== fedlint =="
+# Scans crates/*/src plus vendor/*/src (pool-discipline audits the
+# hand-rolled rayon pool); the coverage meta-test then proves every
+# registered rule has positive and negative fixtures.
 cargo run -q -p lint --release -- --deny --baseline results/lint_baseline.json
+cargo test -q -p lint --test coverage
 
 echo "== tests =="
 cargo test -q

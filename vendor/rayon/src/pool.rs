@@ -152,7 +152,9 @@ impl Ticket {
         // is alive.
         let run = unsafe { &*self.run };
         let result = catch_unwind(AssertUnwindSafe(|| {
+            // fedlint::allow(pool-discipline): `panicked` is a monotonic abort flag; a stale read only runs one extra task before shutdown.
             while !self.panicked.load(Ordering::Relaxed) {
+                // fedlint::allow(pool-discipline): `next` is a pure claim counter; fetch_add atomicity alone guarantees each index is claimed once, and claim order never reaches results.
                 let i = self.next.fetch_add(1, Ordering::Relaxed);
                 if i >= self.n {
                     break;

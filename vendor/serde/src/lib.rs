@@ -101,6 +101,7 @@ macro_rules! ser_uint {
                 match *v {
                     Value::U64(u) => Ok(u as $t),
                     Value::I64(i) if i >= 0 => Ok(i as $t),
+                    // fedlint::allow(float-eq): fract() == 0.0 is the exact integer-valued test; any tolerance would accept lossy conversions.
                     Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => Ok(f as $t),
                     _ => Err(Error::expected(stringify!($t), v)),
                 }
@@ -123,6 +124,7 @@ macro_rules! ser_int {
                 match *v {
                     Value::U64(u) => Ok(u as $t),
                     Value::I64(i) => Ok(i as $t),
+                    // fedlint::allow(float-eq): fract() == 0.0 is the exact integer-valued test; any tolerance would accept lossy conversions.
                     Value::F64(f) if f.fract() == 0.0 => Ok(f as $t),
                     _ => Err(Error::expected(stringify!($t), v)),
                 }
