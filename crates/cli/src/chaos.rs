@@ -1,0 +1,278 @@
+//! `fedclust-chaos` — the PR 2 fault injector reborn as a network chaos
+//! proxy.
+//!
+//! The proxy sits between workers and `fedclustd`, forwarding protocol
+//! frames verbatim (it reads *raw* frames — header-validated but not
+//! checksum-verified — so damaged frames pass through untouched) and
+//! mangling a deterministic subset: drop, delay, truncate-and-close, or
+//! corrupt one payload byte. Fates derive from
+//! `derive(chaos_seed, [streams::CHAOS, direction, key_a, key_b])` where
+//! the keys come from the frame's pinned `(round, client)` offsets when
+//! it has them, so a given upload's fate is a pure function of the chaos
+//! seed — reconnects and retries cannot reshuffle it.
+//!
+//! Every injected fault is *recoverable* by construction: the endpoint
+//! sees a stalled or checksum-broken connection, tears it down, and the
+//! shared retry machinery redials and redelivers. A run through the
+//! proxy therefore produces byte-identical results to a clean run.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fedclust_proto::{frame_keys, read_raw_frame, HEADER_BYTES};
+use fedclust_tensor::rng::{derive, streams};
+use rand::Rng;
+
+use crate::net_args::ChaosArgs;
+
+/// Transmission counts per `(direction, key_a, key_b)`, shared across
+/// connections so a retried frame advances its fate schedule no matter
+/// which (re)connection carries it.
+type Occurrences = Arc<Mutex<BTreeMap<(u64, u64, u64), u64>>>;
+
+/// What happens to one forwarded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Forward,
+    Drop,
+    Delay,
+    Truncate,
+    Corrupt,
+}
+
+/// Pick a frame's fate from one uniform draw, banded like the transport's
+/// `uplink_fate`: `[0, drop)` drop, `[drop, drop+truncate)` truncate,
+/// then corrupt, then delay, else forward.
+///
+/// `occurrence` is the 1-based count of transmissions of this key: a
+/// retried frame draws a *fresh* (still deterministic) fate, so a finite
+/// retry budget always heals a finite chaos schedule — keying on
+/// `(round, client)` alone would doom an unlucky upload to the same fate
+/// on every attempt.
+fn fate_for(args: &ChaosArgs, direction: u64, key_a: u64, key_b: u64, occurrence: u64) -> Fate {
+    // fedlint::allow(float-eq): exact-zero sentinel — all-zero rates mean "pass-through proxy", set only from the literal default
+    if args.drop == 0.0 && args.delay == 0.0 && args.truncate == 0.0 && args.corrupt == 0.0 {
+        return Fate::Forward;
+    }
+    let mut rng = derive(
+        args.chaos_seed,
+        &[streams::CHAOS, direction, key_a, key_b, occurrence],
+    );
+    let u: f32 = rng.gen();
+    let mut band = args.drop;
+    if u < band {
+        return Fate::Drop;
+    }
+    band += args.truncate;
+    if u < band {
+        return Fate::Truncate;
+    }
+    band += args.corrupt;
+    if u < band {
+        return Fate::Corrupt;
+    }
+    band += args.delay;
+    if u < band {
+        return Fate::Delay;
+    }
+    Fate::Forward
+}
+
+/// Keys identifying a frame for the fate schedule: the pinned
+/// `(round, client)` words when the kind carries them, else a
+/// per-connection frame counter (offset so it cannot collide with real
+/// round numbers).
+fn keys_for(frame: &[u8], counter: u64) -> (u64, u64) {
+    let kind = frame.get(6).copied().unwrap_or(0);
+    let payload = frame
+        .get(HEADER_BYTES..frame.len().saturating_sub(fedclust_proto::CHECKSUM_BYTES))
+        .unwrap_or(&[]);
+    match frame_keys(kind, payload) {
+        Some((a, b)) => (a as u64, b as u64),
+        None => (u64::MAX - counter, kind as u64),
+    }
+}
+
+/// Pump frames one direction, applying fates. Returns when either side
+/// closes or a truncation kills the stream; both sockets are torn down on
+/// exit so the sibling pump (and the far endpoint) see the death too —
+/// otherwise a worker that abandons a stalled connection would leave the
+/// proxy→server half open and the server's leases would never fail over.
+fn pump(args: &ChaosArgs, occ: &Occurrences, from: TcpStream, to: TcpStream, direction: u64) {
+    pump_inner(args, occ, &from, &to, direction);
+    let _ = from.shutdown(std::net::Shutdown::Both);
+    let _ = to.shutdown(std::net::Shutdown::Both);
+}
+
+fn pump_inner(
+    args: &ChaosArgs,
+    occ: &Occurrences,
+    mut from: &TcpStream,
+    mut to: &TcpStream,
+    direction: u64,
+) {
+    let mut counter: u64 = 0;
+    loop {
+        let mut frame = match read_raw_frame(&mut from) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        counter += 1;
+        let (key_a, key_b) = keys_for(&frame, counter);
+        let occurrence = {
+            let mut map = occ.lock().unwrap();
+            let n = map.entry((direction, key_a, key_b)).or_insert(0);
+            *n += 1;
+            *n
+        };
+        match fate_for(args, direction, key_a, key_b, occurrence) {
+            Fate::Forward => {}
+            Fate::Drop => continue, // swallow: receiver times out and redials
+            Fate::Delay => std::thread::sleep(Duration::from_millis(args.delay_ms)),
+            Fate::Truncate => {
+                // Half a frame, then kill the connection: the receiver
+                // sees a clean framing error mid-read.
+                let half = frame.len() / 2;
+                let _ = to.write_all(&frame[..half]);
+                let _ = to.flush();
+                return;
+            }
+            Fate::Corrupt => {
+                // Flip one payload byte; the frame checksum catches it on
+                // the far side, which drops the connection and retries.
+                if frame.len() > HEADER_BYTES + fedclust_proto::CHECKSUM_BYTES {
+                    let mid = HEADER_BYTES + (frame.len() - HEADER_BYTES) / 2;
+                    frame[mid] ^= 0x01;
+                }
+            }
+        }
+        if to.write_all(&frame).is_err() || to.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Run the proxy: accept worker connections on `--listen`, dial the real
+/// server at `--connect`, and pump frames both ways under the fate
+/// schedule. Serves connections until the process is killed.
+pub fn run_chaos(args: &ChaosArgs) -> Result<(), String> {
+    let listener = TcpListener::bind(&args.listen)
+        .map_err(|e| format!("fedclust-chaos: cannot bind {}: {}", args.listen, e))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("fedclust-chaos: listening on {} -> {}", addr, args.connect);
+    let occ: Occurrences = Arc::new(Mutex::new(BTreeMap::new()));
+    for inbound in listener.incoming() {
+        let Ok(inbound) = inbound else { continue };
+        let upstream = match TcpStream::connect(&args.connect) {
+            Ok(s) => s,
+            Err(_) => continue, // server down (e.g. mid-resume): worker redials
+        };
+        let _ = inbound.set_nodelay(true);
+        let _ = upstream.set_nodelay(true);
+        let (in2, up2) = match (inbound.try_clone(), upstream.try_clone()) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => continue,
+        };
+        let a = args.clone();
+        let o = Arc::clone(&occ);
+        std::thread::spawn(move || pump(&a, &o, inbound, upstream, 0));
+        let a = args.clone();
+        let o = Arc::clone(&occ);
+        std::thread::spawn(move || pump(&a, &o, up2, in2, 1));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedclust_proto::{encode_frame, Msg};
+
+    fn quiet() -> ChaosArgs {
+        ChaosArgs {
+            listen: "a:1".into(),
+            connect: "b:2".into(),
+            chaos_seed: 7,
+            drop: 0.0,
+            delay: 0.0,
+            truncate: 0.0,
+            corrupt: 0.0,
+            delay_ms: 1,
+        }
+    }
+
+    #[test]
+    fn zero_rates_always_forward() {
+        let args = quiet();
+        for k in 0..64 {
+            assert_eq!(fate_for(&args, 0, k, k, 1), Fate::Forward);
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_in_the_keys() {
+        let mut args = quiet();
+        args.drop = 0.3;
+        args.corrupt = 0.3;
+        for dir in 0..2 {
+            for a in 0..32 {
+                let one = fate_for(&args, dir, a, 5, 1);
+                let two = fate_for(&args, dir, a, 5, 1);
+                assert_eq!(one, two);
+            }
+        }
+        // Different directions draw independent fates somewhere.
+        let diverges = (0..64).any(|a| fate_for(&args, 0, a, 0, 1) != fate_for(&args, 1, a, 0, 1));
+        assert!(diverges, "direction must be part of the fate key");
+    }
+
+    #[test]
+    fn bands_cover_all_fates() {
+        let mut args = quiet();
+        args.drop = 0.25;
+        args.truncate = 0.25;
+        args.corrupt = 0.25;
+        args.delay = 0.25;
+        let mut seen = std::collections::BTreeSet::new();
+        for a in 0..512 {
+            seen.insert(format!("{:?}", fate_for(&args, 0, a, 0, 1)));
+        }
+        for fate in ["Drop", "Truncate", "Corrupt", "Delay"] {
+            assert!(seen.contains(fate), "never drew {fate}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn retransmissions_advance_the_fate_schedule() {
+        // A key doomed at occurrence 1 must eventually draw Forward:
+        // retries heal deterministic chaos.
+        let mut args = quiet();
+        args.drop = 0.5;
+        for a in 0..16 {
+            let healed = (1..=16).any(|occ| fate_for(&args, 0, a, 3, occ) == Fate::Forward);
+            assert!(healed, "key {} never forwarded in 16 attempts", a);
+        }
+    }
+
+    #[test]
+    fn keyed_frames_use_pinned_round_client_words() {
+        let push = Msg::Push {
+            mode: 0,
+            round: 9,
+            client: 4,
+            steps: 1,
+            weight: 1.0,
+            body: fedclust_proto::PushBody::Raw(vec![0.0]),
+        };
+        let bytes = push.encode();
+        // The counter must be irrelevant for keyed frames.
+        assert_eq!(keys_for(&bytes, 1), (9, 4));
+        assert_eq!(keys_for(&bytes, 999), (9, 4));
+        // Keyless frames fall back to the counter band.
+        let hello = encode_frame(1, &[1, 0]);
+        assert_ne!(keys_for(&hello, 1), keys_for(&hello, 2));
+    }
+}

@@ -18,6 +18,10 @@ use fedclust_fl::methods::{baselines, extended_baselines, FlMethod};
 use fedclust_fl::{Checkpointer, CrashPlan, FaultPlan, FlConfig};
 
 pub mod args;
+pub mod chaos;
+pub mod net;
+pub mod net_args;
+pub mod worker;
 
 pub use args::{Args, Command, ParseError};
 
@@ -180,7 +184,10 @@ pub fn execute(args: &Args) -> Result<String, String> {
     }
 }
 
-fn build_dataset(args: &Args) -> Result<FederatedDataset, String> {
+/// Build the federated dataset an argument set describes. Public so the
+/// networked worker can rebuild the *identical* dataset from the argv the
+/// server ships in its `Welcome`.
+pub fn build_dataset(args: &Args) -> Result<FederatedDataset, String> {
     let profile = parse_dataset(&args.dataset)
         .ok_or_else(|| format!("unknown dataset '{}'", args.dataset))?;
     let partition = parse_partition(&args.partition)
@@ -197,7 +204,9 @@ fn build_dataset(args: &Args) -> Result<FederatedDataset, String> {
     ))
 }
 
-fn build_config(args: &Args) -> FlConfig {
+/// Build the run config an argument set describes (public for the same
+/// reason as [`build_dataset`]).
+pub fn build_config(args: &Args) -> FlConfig {
     FlConfig {
         model: if args.dataset.to_ascii_lowercase().starts_with("cifar100") {
             fedclust_nn::models::ModelSpec::ResNet9

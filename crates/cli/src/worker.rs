@@ -1,0 +1,296 @@
+//! `fedclust-worker` — a networked client-fleet process.
+//!
+//! A worker is stateless between units of work: it connects, replays the
+//! `run` argv the server ships in `Welcome` to rebuild the *identical*
+//! dataset, config, and model template, then pulls `(round, client)`
+//! units, trains them, and pushes the results back. All training
+//! randomness is keyed by `(seed, round, client)` — never by worker
+//! identity — so any worker can compute any unit at any attempt and the
+//! result is bit-identical to the in-process simulation.
+//!
+//! Workers are built to outlive the server: a dead or stalled connection
+//! (including a SIGKILLed server mid-round) is redialled under the shared
+//! [`RetryPolicy`] backoff until the reconnect budget runs out, which is
+//! what makes the kill-and-resume flow work end to end.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use fedclust_data::FederatedDataset;
+use fedclust_fl::codec::{self, BaseCodec};
+use fedclust_fl::engine::{init_model, local_train};
+use fedclust_fl::faults::CRASH_EXIT_CODE;
+use fedclust_fl::FlConfig;
+use fedclust_nn::optim::Sgd;
+use fedclust_nn::Model;
+use fedclust_proto::{
+    read_msg, write_msg, Msg, ProtoError, PushBody, RetryPolicy, MODE_WARMUP, PROTO_VERSION,
+};
+
+use crate::args::Args;
+use crate::net_args::WorkerArgs;
+use crate::{build_config, build_dataset};
+
+/// Everything a worker derives from the server's `Welcome` argv. Cached
+/// across reconnects: the argv is canonical, so an unchanged argv means
+/// the dataset and template are still valid.
+struct RunContext {
+    argv: Vec<String>,
+    fd: FederatedDataset,
+    cfg: FlConfig,
+    template: Model,
+}
+
+impl RunContext {
+    fn build(argv: Vec<String>) -> Result<RunContext, String> {
+        let args = Args::parse(&argv).map_err(|e| format!("bad server argv: {}", e))?;
+        let fd = build_dataset(&args)?;
+        let cfg = build_config(&args);
+        let template = init_model(&fd, &cfg);
+        Ok(RunContext {
+            argv,
+            fd,
+            cfg,
+            template,
+        })
+    }
+}
+
+/// Why a connection session ended.
+enum SessionEnd {
+    /// Server said `Done`: the run is complete.
+    Done,
+    /// Connection died or stalled: redial and resume.
+    Lost,
+}
+
+/// Crash-injection hooks for the integration tests, mirroring the
+/// checkpointer's `CrashPlan` discipline: exit with [`CRASH_EXIT_CODE`]
+/// at a byte-precise point in the protocol.
+struct DiePlan {
+    /// Exit after this many *acknowledged* pushes.
+    after: Option<usize>,
+    /// Write half of this push's frame, then exit (torn upload).
+    mid_push: Option<usize>,
+}
+
+/// Train one unit of work and build the push reply.
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    ctx: &RunContext,
+    mode: u8,
+    round: u32,
+    client: u32,
+    epochs: u32,
+    prox_mu: Option<f32>,
+    start_state: &[f32],
+    residual: Vec<f32>,
+) -> Msg {
+    let client_usize = client as usize;
+    let mut model = ctx.template.clone();
+    model.set_state_vec(start_state);
+    let mut opt = Sgd::new(ctx.cfg.sgd());
+    if let Some(mu) = prox_mu {
+        opt.set_prox(mu, model.param_tensors());
+    }
+    let data = &ctx.fd.clients[client_usize];
+    let steps = local_train(
+        &mut model,
+        data,
+        &mut opt,
+        epochs as usize,
+        ctx.cfg.batch_size,
+        ctx.cfg.seed,
+        client_usize,
+        round as usize,
+    );
+    let payload = model.state_vec();
+    let weight = data.train_samples() as f32;
+
+    let body = if mode == MODE_WARMUP || ctx.cfg.codec.is_none() {
+        // Warmup always ships the raw full state: the server keeps the
+        // partial-weight extraction (and its uplink accounting) local so
+        // the round-0 path matches the simulation exactly.
+        PushBody::Raw(payload)
+    } else {
+        let residual_in = match ctx.cfg.codec.base {
+            BaseCodec::TopK(_) => Some(residual),
+            _ => None,
+        };
+        let (enc, residual_out) = codec::encode_for_upload(
+            ctx.cfg.codec,
+            ctx.cfg.seed,
+            round as usize,
+            client_usize,
+            &payload,
+            Some(start_state),
+            residual_in,
+        );
+        PushBody::Encoded {
+            wire: enc.wire,
+            residual: residual_out.unwrap_or_default(),
+        }
+    };
+    Msg::Push {
+        mode,
+        round,
+        client,
+        steps: steps as u32,
+        weight,
+        body,
+    }
+}
+
+/// Send a push, honouring `Busy` backpressure and the die-mid-push test
+/// hook. Returns `Ok(true)` when acked.
+fn push_with_backpressure(
+    stream: &mut TcpStream,
+    push: &Msg,
+    pushes_done: usize,
+    die: &DiePlan,
+) -> Result<(), ProtoError> {
+    if die.mid_push == Some(pushes_done + 1) {
+        // Torn upload: half a frame, then a hard crash. The server must
+        // see a framing error, requeue the lease, and degrade gracefully.
+        let bytes = push.encode();
+        let half = bytes.len() / 2;
+        let _ = stream.write_all(&bytes[..half]);
+        let _ = stream.flush();
+        std::process::exit(CRASH_EXIT_CODE);
+    }
+    loop {
+        write_msg(stream, push)?;
+        match read_msg(stream)? {
+            Msg::Ack { .. } => return Ok(()),
+            Msg::Busy { millis } => {
+                std::thread::sleep(Duration::from_millis(millis as u64));
+                continue;
+            }
+            _ => return Err(ProtoError::Io(std::io::ErrorKind::InvalidData)),
+        }
+    }
+}
+
+/// One connection session: handshake, then pull/train/push until the
+/// server finishes or the connection dies.
+fn session(
+    args: &WorkerArgs,
+    ctx_cache: &mut Option<RunContext>,
+    pushes_done: &mut usize,
+    die: &DiePlan,
+) -> Result<SessionEnd, String> {
+    let mut stream = match TcpStream::connect(&args.connect) {
+        Ok(s) => s,
+        Err(_) => return Ok(SessionEnd::Lost),
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs_f64(args.io_timeout)));
+
+    if write_msg(
+        &mut stream,
+        &Msg::Hello {
+            version: PROTO_VERSION,
+        },
+    )
+    .is_err()
+    {
+        return Ok(SessionEnd::Lost);
+    }
+    let argv = match read_msg(&mut stream) {
+        Ok(Msg::Welcome { argv, .. }) => argv,
+        Ok(Msg::Reject { reason }) => return Err(format!("server rejected worker: {}", reason)),
+        Ok(_) | Err(_) => return Ok(SessionEnd::Lost),
+    };
+    let rebuild = match ctx_cache {
+        Some(ctx) => ctx.argv != argv,
+        None => true,
+    };
+    if rebuild {
+        *ctx_cache = Some(RunContext::build(argv)?);
+    }
+    let ctx = ctx_cache.as_ref().expect("context just built");
+
+    loop {
+        if write_msg(&mut stream, &Msg::PullWork).is_err() {
+            return Ok(SessionEnd::Lost);
+        }
+        match read_msg(&mut stream) {
+            Ok(Msg::Work {
+                mode,
+                round,
+                client,
+                epochs,
+                prox_mu,
+                state,
+                residual,
+            }) => {
+                if client as usize >= ctx.fd.num_clients() {
+                    return Err(format!(
+                        "server sent client {} but the dataset has {}",
+                        client,
+                        ctx.fd.num_clients()
+                    ));
+                }
+                let push = run_unit(ctx, mode, round, client, epochs, prox_mu, &state, residual);
+                match push_with_backpressure(&mut stream, &push, *pushes_done, die) {
+                    Ok(()) => {
+                        *pushes_done += 1;
+                        if die.after == Some(*pushes_done) {
+                            std::process::exit(CRASH_EXIT_CODE);
+                        }
+                    }
+                    Err(_) => return Ok(SessionEnd::Lost),
+                }
+            }
+            Ok(Msg::Wait { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis as u64));
+            }
+            Ok(Msg::Done) => return Ok(SessionEnd::Done),
+            Ok(_) => return Ok(SessionEnd::Lost),
+            Err(_) => return Ok(SessionEnd::Lost),
+        }
+    }
+}
+
+/// Worker main loop: dial, serve a session, redial under the shared
+/// backoff until `Done` or the reconnect budget is spent.
+pub fn run_worker(args: &WorkerArgs) -> Result<(), String> {
+    if let Some(t) = args.threads {
+        rayon::set_num_threads(t);
+    }
+    let policy = RetryPolicy::from_retries(args.reconnects as u32)
+        .with_backoff_base(Duration::from_secs_f64(args.backoff_base));
+    let die = DiePlan {
+        after: args.die_after,
+        mid_push: args.die_mid_push,
+    };
+    let mut ctx_cache: Option<RunContext> = None;
+    let mut pushes_done = 0usize;
+    for attempt in policy.attempts() {
+        if attempt > 0 {
+            // Reconnect backoff: seeded from the run when we know it (so
+            // a fleet of workers desynchronises deterministically), and
+            // keyed by process id before the first handshake.
+            let (seed, key) = match &ctx_cache {
+                Some(ctx) => (ctx.cfg.seed, 0u64),
+                None => (0, std::process::id() as u64),
+            };
+            std::thread::sleep(policy.backoff(seed, 0, key, attempt));
+        }
+        match session(args, &mut ctx_cache, &mut pushes_done, &die)? {
+            SessionEnd::Done => {
+                eprintln!(
+                    "fedclust-worker: run complete after {} push(es)",
+                    pushes_done
+                );
+                return Ok(());
+            }
+            SessionEnd::Lost => continue,
+        }
+    }
+    Err(format!(
+        "fedclust-worker: gave up after {} reconnect attempts",
+        args.reconnects + 1
+    ))
+}

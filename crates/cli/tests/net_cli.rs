@@ -1,0 +1,438 @@
+//! End-to-end networked federation through the real binaries: a
+//! `fedclustd` server plus a fleet of `fedclust-worker` processes over
+//! localhost TCP (optionally through the `fedclust-chaos` frame-mangling
+//! proxy) must print byte-identical `--json` output to the in-process
+//! simulation at the same seed — including across a server SIGKILL +
+//! resume and a worker dying mid-upload.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Exit code the crash hooks use (fedclust_fl::faults::CRASH_EXIT_CODE).
+const CRASH_EXIT_CODE: i32 = 86;
+
+fn run_args(method: &str, extra: &[&str]) -> Vec<String> {
+    let mut v: Vec<String> = [
+        "--method",
+        method,
+        "--dataset",
+        "fmnist",
+        "--partition",
+        "skew50",
+        "--clients",
+        "4",
+        "--rounds",
+        "3",
+        "--epochs",
+        "1",
+        "--samples-per-class",
+        "10",
+        "--seed",
+        "7",
+        "--json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    v.extend(extra.iter().map(|s| s.to_string()));
+    v
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fedclust-net-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Reference output from the ordinary in-process CLI.
+fn in_process(method: &str, extra: &[&str]) -> String {
+    let mut args = vec!["run".to_string()];
+    args.extend(run_args(method, extra));
+    let out = Command::new(env!("CARGO_BIN_EXE_fedclust-cli"))
+        .args(&args)
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A spawned process whose stderr is scanned for a `listening on <addr>`
+/// discovery line.
+struct NetProc {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_listener(bin: &str, args: &[String], prefix: &str) -> NetProc {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let (tx, rx) = mpsc::channel::<String>();
+    let prefix = prefix.to_string();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.strip_prefix(&prefix) {
+                // Chaos prints "ADDR -> upstream"; take the first word.
+                let addr = rest.split_whitespace().next().unwrap_or("").to_string();
+                let _ = tx.send(addr);
+            }
+        }
+    });
+    let addr = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("process never printed its listen address");
+    NetProc { child, addr }
+}
+
+fn spawn_server(method: &str, extra: &[&str], net: &[&str]) -> NetProc {
+    let mut args: Vec<String> = ["--listen", "127.0.0.1:0"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    args.extend(net.iter().map(|s| s.to_string()));
+    args.extend(run_args(method, extra));
+    spawn_listener(
+        env!("CARGO_BIN_EXE_fedclustd"),
+        &args,
+        "fedclustd: listening on ",
+    )
+}
+
+fn spawn_worker(addr: &str, extra: &[&str]) -> Child {
+    let mut args = vec!["--connect".to_string(), addr.to_string()];
+    // Short I/O timeout and backoff so loss-heavy scenarios (chaos, server
+    // kill) redial quickly; neither knob feeds the training determinism.
+    args.push("--io-timeout".into());
+    args.push("1".into());
+    args.push("--backoff-base".into());
+    args.push("0.01".into());
+    args.extend(extra.iter().map(|s| s.to_string()));
+    Command::new(env!("CARGO_BIN_EXE_fedclust-worker"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker")
+}
+
+/// Wait for the server to finish and return its stdout.
+fn finish(mut server: NetProc) -> String {
+    let mut stdout = String::new();
+    server
+        .child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut stdout)
+        .expect("read server stdout");
+    let status = server.child.wait().expect("server exits");
+    assert!(status.success(), "server failed with {}", status);
+    stdout
+}
+
+/// Reap workers with a bounded grace period. Workers normally exit on the
+/// server's `Done`, but one sleeping through a reconnect backoff can miss
+/// the server's shutdown grace window and keep redialling a dead address —
+/// waiting on it unconditionally would hang the suite, so after the grace
+/// we kill what's left.
+fn reap(mut workers: Vec<Child>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for w in &mut workers {
+        loop {
+            match w.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                _ => {
+                    let _ = w.kill();
+                    let _ = w.wait();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// FedAvg over localhost with two worker processes: byte-identical to the
+/// in-process simulation at the same seed.
+#[test]
+fn networked_fedavg_matches_in_process() {
+    let reference = in_process("fedavg", &[]);
+    let server = spawn_server("fedavg", &[], &["--min-workers", "2"]);
+    let workers = vec![
+        spawn_worker(&server.addr, &[]),
+        spawn_worker(&server.addr, &[]),
+    ];
+    let out = finish(server);
+    reap(workers);
+    assert_eq!(reference, out, "networked FedAvg diverged from simulation");
+}
+
+/// FedClust (round-0 warmup collection + clustered rounds) over localhost
+/// with four worker processes — the full weight-driven clustering path
+/// runs with training farmed out and must replay bit-identically.
+#[test]
+fn networked_fedclust_with_four_workers_matches_in_process() {
+    let reference = in_process("fedclust", &[]);
+    let server = spawn_server("fedclust", &[], &["--min-workers", "4"]);
+    let workers: Vec<Child> = (0..4).map(|_| spawn_worker(&server.addr, &[])).collect();
+    let out = finish(server);
+    reap(workers);
+    assert_eq!(
+        reference, out,
+        "networked FedClust diverged from simulation"
+    );
+}
+
+/// A codec-compressed networked run: the worker-side encoder and the
+/// in-process transport share one encode entry point, so wire bytes,
+/// decoded states, and comm accounting must agree exactly.
+#[test]
+fn networked_codec_run_matches_in_process() {
+    let extra = ["--codec", "delta+q8+sr"];
+    let reference = in_process("fedavg", &extra);
+    let server = spawn_server("fedavg", &extra, &["--min-workers", "2"]);
+    let workers = vec![
+        spawn_worker(&server.addr, &[]),
+        spawn_worker(&server.addr, &[]),
+    ];
+    let out = finish(server);
+    reap(workers);
+    assert_eq!(reference, out, "codec-compressed networked run diverged");
+}
+
+/// FedClust end-to-end through the chaos proxy at a fixed chaos seed:
+/// dropped, delayed, truncated, and corrupted frames must all heal
+/// through the shared retry machinery, leaving the output byte-identical
+/// to the clean simulation.
+#[test]
+fn chaos_proxy_run_is_bit_identical() {
+    // A retry budget comfortably above the chaos pressure; with zero
+    // downlink loss the flag is inert in-process, so the reference is
+    // unchanged by it.
+    let extra = ["--retries", "8"];
+    let reference = in_process("fedclust", &extra);
+    let server = spawn_server("fedclust", &extra, &["--min-workers", "2"]);
+    let chaos_args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--connect",
+        &server.addr,
+        "--chaos-seed",
+        "11",
+        "--drop",
+        "0.05",
+        "--corrupt",
+        "0.05",
+        "--truncate",
+        "0.03",
+        "--delay",
+        "0.10",
+        "--delay-ms",
+        "20",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut chaos = spawn_listener(
+        env!("CARGO_BIN_EXE_fedclust-chaos"),
+        &chaos_args,
+        "fedclust-chaos: listening on ",
+    );
+    let workers = vec![
+        spawn_worker(&chaos.addr, &[]),
+        spawn_worker(&chaos.addr, &[]),
+    ];
+    let out = finish(server);
+    reap(workers);
+    let _ = chaos.child.kill();
+    let _ = chaos.child.wait();
+    assert_eq!(reference, out, "chaos-proxied run diverged from simulation");
+}
+
+/// SIGKILL the server mid-round, restart it with `--resume` on the same
+/// port, and require (a) byte-identical final `--json` output and (b) a
+/// byte-identical final checkpoint generation versus an uninterrupted
+/// checkpointed in-process run. Workers survive the outage and reconnect.
+#[test]
+fn server_sigkill_and_resume_is_byte_identical() {
+    let ref_dir = tmpdir("sigkill-ref");
+    let ref_dir_s = ref_dir.to_string_lossy().into_owned();
+    let net_dir = tmpdir("sigkill-net");
+    let net_dir_s = net_dir.to_string_lossy().into_owned();
+    fn ckpt(d: &str) -> [&str; 6] {
+        [
+            "--checkpoint-dir",
+            d,
+            "--checkpoint-every",
+            "1",
+            "--keep",
+            "8",
+        ]
+    }
+
+    let reference = in_process("fedclust", &ckpt(&ref_dir_s));
+
+    let server = spawn_server("fedclust", &ckpt(&net_dir_s), &["--min-workers", "2"]);
+    let addr = server.addr.clone();
+    let workers = vec![spawn_worker(&addr, &[]), spawn_worker(&addr, &[])];
+
+    // Let the run get past its first durable checkpoint, then SIGKILL the
+    // server at an arbitrary (mid-round) moment.
+    let mut server = server;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !net_dir.join("ckpt-000001.bin").exists() {
+        assert!(Instant::now() < deadline, "first checkpoint never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    server.child.kill().expect("SIGKILL server");
+    let _ = server.child.wait();
+
+    // Restart on the same port with --resume; the surviving workers are
+    // still redialling it. The port was just freed, so give bind a few
+    // tries.
+    let mut resume_args: Vec<String> = vec!["--listen".into(), addr.clone()];
+    resume_args.extend(["--min-workers", "1"].iter().map(|s| s.to_string()));
+    resume_args.extend(run_args("fedclust", &ckpt(&net_dir_s)));
+    resume_args.push("--resume".into());
+    let resumed = retry_spawn(&resume_args);
+    let out = finish(resumed);
+    reap(workers);
+    assert_eq!(reference, out, "resumed networked run diverged");
+
+    // The final checkpoint generation must match the reference run's,
+    // byte for byte.
+    let newest = |d: &PathBuf| -> (String, Vec<u8>) {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("ckpt-") && n.ends_with(".bin"))
+            .collect();
+        names.sort();
+        let last = names.last().expect("at least one checkpoint").clone();
+        let bytes = std::fs::read(d.join(&last)).unwrap();
+        (last, bytes)
+    };
+    let (ref_name, ref_bytes) = newest(&ref_dir);
+    let (net_name, net_bytes) = newest(&net_dir);
+    assert_eq!(ref_name, net_name, "final checkpoint generation differs");
+    assert_eq!(ref_bytes, net_bytes, "final checkpoint bytes differ");
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&net_dir);
+}
+
+fn retry_spawn(args: &[String]) -> NetProc {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_fedclustd"))
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let (tx, rx) = mpsc::channel::<String>();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stderr).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rest) = line.strip_prefix("fedclustd: listening on ") {
+                    let _ = tx.send(rest.trim().to_string());
+                }
+            }
+        });
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            Ok(addr) => return NetProc { child, addr },
+            Err(_) => {
+                // Bind likely failed (port still settling); reap and retry.
+                let _ = child.kill();
+                let _ = child.wait();
+                assert!(Instant::now() < deadline, "could not rebind resume port");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+/// One worker dies cleanly after its first acknowledged push; the
+/// surviving worker picks up the requeued leases and the run still
+/// replays bit-identically (failover, not loss).
+#[test]
+fn worker_death_fails_over_without_perturbing_the_run() {
+    let reference = in_process("fedavg", &[]);
+    let server = spawn_server("fedavg", &[], &["--min-workers", "2"]);
+    let mut doomed = spawn_worker(&server.addr, &["--die-after", "1"]);
+    let survivor = spawn_worker(&server.addr, &[]);
+    let out = finish(server);
+    let status = doomed.wait().expect("doomed worker exits");
+    assert_eq!(
+        status.code(),
+        Some(CRASH_EXIT_CODE),
+        "die-after hook must exit with the crash code"
+    );
+    reap(vec![survivor]);
+    assert_eq!(reference, out, "worker failover perturbed the run");
+}
+
+/// A worker killed mid-upload (torn push frame) with a zero retry budget:
+/// the unit is written off, the run degrades gracefully, and the loss
+/// shows up in the fault telemetry — the server must NOT hang or crash.
+#[test]
+fn worker_torn_upload_degrades_gracefully_with_telemetry() {
+    let server = spawn_server(
+        "fedavg",
+        &["--retries", "0"],
+        &["--min-workers", "2", "--round-timeout", "60"],
+    );
+    let mut doomed = spawn_worker(&server.addr, &["--die-mid-push", "1"]);
+    let survivor = spawn_worker(&server.addr, &[]);
+    let out = finish(server);
+    let status = doomed.wait().expect("doomed worker exits");
+    assert_eq!(status.code(), Some(CRASH_EXIT_CODE));
+    reap(vec![survivor]);
+
+    // The loss is genuine (budget 0 ⇒ no redispatch), so it must appear
+    // in the deterministic telemetry as an uplink loss + injected fault.
+    assert!(
+        json_u64(&out, "uplink_losses") >= 1,
+        "torn upload must be recorded as an uplink loss:\n{}",
+        out
+    );
+    assert!(
+        json_u64(&out, "faults_injected") >= 1,
+        "torn upload must count as an injected fault:\n{}",
+        out
+    );
+}
+
+/// Pull an integer field out of the pretty-printed `--json` output (the
+/// vendored serde_json has no dynamic Value type).
+fn json_u64(json: &str, field: &str) -> u64 {
+    let needle = format!("\"{}\":", field);
+    let rest = &json[json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {field} in output"))
+        + needle.len()..];
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().expect("integer field")
+}

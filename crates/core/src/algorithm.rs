@@ -175,11 +175,24 @@ impl FedClust {
             self.selection,
             &reached,
         );
+        // Clients the worker fleet wrote off (networked mode only — the
+        // local path returns everyone the broadcast reached) count as
+        // uplink losses for telemetry.
+        let lost: Vec<usize> = {
+            let got: std::collections::BTreeSet<usize> =
+                collected.iter().map(|(c, _)| *c).collect();
+            reached
+                .iter()
+                .copied()
+                .filter(|c| !got.contains(c))
+                .collect()
+        };
+        transport.record_remote_losses(&lost);
         // A stale round-0 corruption replays the untrained partial weights.
         let init_partial = self.selection.extract(&template);
         let mut survivors: Vec<usize> = Vec::with_capacity(reached.len());
         let mut partials: Vec<Vec<f32>> = Vec::with_capacity(reached.len());
-        for (&client, mut partial) in reached.iter().zip(collected) {
+        for (client, mut partial) in collected {
             if transport.uplink(
                 0,
                 client,

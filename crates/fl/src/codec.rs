@@ -561,6 +561,38 @@ fn reconstruct(values: &[f32], flags: u8, reference: Option<&[f32]>) -> Vec<f32>
     }
 }
 
+/// The client-side encode exactly as the transport performs it: the codec
+/// RNG derives from `(seed, streams::CODEC, round, client)`, the caller's
+/// error-feedback residual advances in place, and the result carries the
+/// wire bytes plus the server-side reconstruction. The in-process
+/// [`Transport::uplink`](crate::faults::Transport::uplink) and the remote
+/// worker fleet both route through this function, so a networked upload
+/// is bit-identical to its simulated twin by construction.
+pub fn encode_for_upload(
+    spec: CodecSpec,
+    seed: u64,
+    round: usize,
+    client: usize,
+    payload: &[f32],
+    reference: Option<&[f32]>,
+    mut residual: Option<Vec<f32>>,
+) -> (Encoded, Option<Vec<f32>>) {
+    let mut rng = if spec.draws_rng() {
+        Some(fedclust_tensor::rng::derive(
+            seed,
+            &[
+                fedclust_tensor::rng::streams::CODEC,
+                round as u64,
+                client as u64,
+            ],
+        ))
+    } else {
+        None
+    };
+    let enc = spec.encode(payload, reference, residual.as_mut(), rng.as_mut());
+    (enc, residual)
+}
+
 /// Decode one wire message against an optional shared reference. Total on
 /// arbitrary input: every length is checked, every access bounds-checked,
 /// and a checksum-valid but structurally hostile message yields an error,

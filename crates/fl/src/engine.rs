@@ -13,6 +13,89 @@ use fedclust_nn::Model;
 use fedclust_tensor::rng::{derive, streams};
 use rand::seq::SliceRandom;
 use rayon::prelude::*;
+use std::sync::{Arc, RwLock};
+
+/// One unit of remote work: train (or warm up) these clients from
+/// `start_state` at `round`. `residuals` carries each client's canonical
+/// error-feedback residual for the worker-side codec (empty vectors for
+/// residual-free codecs).
+pub struct RemoteRound<'a> {
+    /// Federated round index (0-based; FedClust warmup runs at round 0).
+    pub round: usize,
+    /// Clients to train, in the order results must come back.
+    pub clients: &'a [usize],
+    /// The broadcast state every client starts from (also the codec's
+    /// delta reference).
+    pub start_state: &'a [f32],
+    /// FedProx proximal coefficient, when the method uses one.
+    pub prox_mu: Option<f32>,
+    /// Local epochs to run (differs from `cfg.local_epochs` during
+    /// FedClust warmup).
+    pub epochs: usize,
+    /// `(client, residual)` pairs aligned with `clients`.
+    pub residuals: Vec<(usize, Vec<f32>)>,
+}
+
+/// One client's update as delivered by a remote worker.
+pub struct RemoteUpdate {
+    /// Client id.
+    pub client: usize,
+    /// Local optimizer steps τ_i.
+    pub steps: usize,
+    /// Training-set size `n_i`.
+    pub weight: f32,
+    /// The server-side reconstruction of the upload (the worker's encoder
+    /// pins it; raw state when no codec is active).
+    pub state: Vec<f32>,
+    /// Bytes that actually crossed the network under a codec; `None`
+    /// means the raw 4-bytes-per-scalar accounting applies.
+    pub wire_bytes: Option<usize>,
+    /// The advanced error-feedback residual (top-k codecs only).
+    pub residual: Option<Vec<f32>>,
+}
+
+/// What came back from a remote round: updates in request-client order,
+/// plus the clients whose workers never delivered (retries exhausted or
+/// round deadline hit) — the graceful-degradation set.
+pub struct RemoteOutcome {
+    /// Delivered updates, ordered like `RemoteRound::clients`.
+    pub updates: Vec<RemoteUpdate>,
+    /// Clients written off for this round.
+    pub lost: Vec<usize>,
+}
+
+/// A delegate that trains clients out-of-process (fedclustd's worker
+/// fleet). Installed process-globally; [`train_round`] and the FedClust
+/// warmup collection route through it when present.
+pub trait RemoteTrainer: Send + Sync {
+    /// Train `req.clients` and return codec-encoded updates.
+    fn train_remote(&self, req: RemoteRound) -> RemoteOutcome;
+    /// FedClust round-0 warmup: train and return *raw full states* in
+    /// `(client, state)` pairs (lost clients omitted); the server extracts
+    /// the partial-weight slices and runs its own uplink path.
+    fn warmup_remote(&self, req: RemoteRound) -> Vec<(usize, Vec<f32>)>;
+}
+
+static REMOTE_TRAINER: RwLock<Option<Arc<dyn RemoteTrainer>>> = RwLock::new(None);
+
+/// Route all subsequent round training through `trainer` (process-global;
+/// the server installs its network fleet here before running a method).
+pub fn install_remote_trainer(trainer: Arc<dyn RemoteTrainer>) {
+    *REMOTE_TRAINER.write().unwrap_or_else(|p| p.into_inner()) = Some(trainer);
+}
+
+/// Remove the installed remote trainer (tests; server shutdown).
+pub fn clear_remote_trainer() {
+    *REMOTE_TRAINER.write().unwrap_or_else(|p| p.into_inner()) = None;
+}
+
+/// The currently installed remote trainer, if any.
+pub fn remote_trainer() -> Option<Arc<dyn RemoteTrainer>> {
+    REMOTE_TRAINER
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()
+}
 
 /// Build the initial server model θ⁰ for a federated dataset. All methods
 /// in one experiment share this initialisation (the server broadcasts θ⁰).
@@ -155,6 +238,22 @@ pub fn train_round(
 ) -> Vec<ClientUpdate> {
     let scalars = start_state.len();
     let reached = transport.broadcast(round, sampled, scalars);
+    if let Some(remote) = remote_trainer() {
+        let residuals = reached
+            .iter()
+            .map(|&c| (c, transport.residual_for(c)))
+            .collect();
+        let outcome = remote.train_remote(RemoteRound {
+            round,
+            clients: &reached,
+            start_state,
+            prox_mu,
+            epochs: cfg.local_epochs,
+            residuals,
+        });
+        transport.record_remote_losses(&outcome.lost);
+        return transport.receive_remote(round, outcome.updates, Some(start_state));
+    }
     let updates = train_sampled(fd, cfg, template, start_state, &reached, round, prox_mu);
     transport.receive(round, updates, Some(start_state), Some(start_state))
 }

@@ -54,10 +54,11 @@
 //! of it: no header, no transform, no RNG draw, byte-identical to the
 //! uncompressed path.
 
-use crate::codec::{BaseCodec, CodecSpec};
+use crate::codec::{self, BaseCodec, CodecSpec};
 use crate::comm::CommMeter;
 use crate::config::FlConfig;
-use crate::engine::ClientUpdate;
+use crate::engine::{ClientUpdate, RemoteUpdate};
+use fedclust_proto::RetryPolicy;
 use fedclust_tensor::rng::{derive, streams};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -285,8 +286,16 @@ impl Transport {
         self.residuals = residuals.into_iter().collect();
     }
 
+    /// The bounded-retry policy implied by this run's fault plan — the
+    /// *same* [`RetryPolicy`] type the networked transport sleeps on, so
+    /// `--retries N` means `N + 1` attempts identically in-process (where
+    /// backoff is virtual) and over TCP (where it is slept).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::from_retries(self.plan.max_downlink_retries as u32)
+    }
+
     /// Send `scalars` values down to each of `clients`, retrying each
-    /// failed transmission up to `max_downlink_retries` times. Returns the
+    /// failed transmission per [`Transport::retry_policy`]. Returns the
     /// clients that received the payload (always at least one, in input
     /// order).
     pub fn broadcast(&mut self, round: usize, clients: &[usize], scalars: usize) -> Vec<usize> {
@@ -296,6 +305,7 @@ impl Transport {
             }
             return clients.to_vec();
         }
+        let policy = self.retry_policy();
         let mut delivered = Vec::with_capacity(clients.len());
         for &client in clients {
             let mut rng = derive(
@@ -303,7 +313,7 @@ impl Transport {
                 &[streams::FAULT_DOWNLINK, round as u64, client as u64],
             );
             let mut ok = false;
-            for attempt in 0..=self.plan.max_downlink_retries {
+            for attempt in policy.attempts() {
                 self.meter.down(scalars);
                 if attempt > 0 {
                     self.telemetry.retries += 1;
@@ -419,22 +429,18 @@ impl Transport {
         if self.codec.is_none() {
             self.meter.up(payload.len());
         } else {
-            let codec = self.codec;
-            let mut rng = if codec.draws_rng() {
-                Some(derive(
-                    self.seed,
-                    &[streams::CODEC, round as u64, client as u64],
-                ))
-            } else {
-                None
-            };
-            let residual = match codec.base {
-                BaseCodec::TopK(_) => Some(self.residuals.entry(client).or_default()),
+            let residual = match self.codec.base {
+                BaseCodec::TopK(_) => Some(self.residuals.remove(&client).unwrap_or_default()),
                 _ => None,
             };
-            let enc = codec.encode(payload, reference, residual, rng.as_mut());
+            let (enc, residual) = codec::encode_for_upload(
+                self.codec, self.seed, round, client, payload, reference, residual,
+            );
             self.meter.up_wire(enc.wire.len());
             *payload = enc.decoded;
+            if let Some(r) = residual {
+                self.residuals.insert(client, r);
+            }
         }
         if !self.active {
             return true;
@@ -486,6 +492,71 @@ impl Transport {
                 && self.screen(&u.state, expected_len)
             {
                 kept.push(u);
+            }
+        }
+        kept
+    }
+
+    /// The error-feedback residual a remote worker must start `client`'s
+    /// encode from — a clone of the server's canonical copy (empty for
+    /// codecs without residual state). The worker returns the advanced
+    /// residual in its push and [`Transport::receive_remote`] absorbs it,
+    /// so the canonical state matches what the in-process encode would
+    /// have produced.
+    pub fn residual_for(&self, client: usize) -> Vec<f32> {
+        match self.codec.base {
+            BaseCodec::TopK(_) => self.residuals.get(&client).cloned().unwrap_or_default(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Record clients whose uploads never arrived for *network* reasons
+    /// (worker death with retries exhausted, round deadline): charged to
+    /// the same telemetry counters as an in-flight uplink loss, because to
+    /// the aggregator they are the same event.
+    pub fn record_remote_losses(&mut self, lost: &[usize]) {
+        for _ in lost {
+            self.telemetry.uplink_losses += 1;
+            self.telemetry.faults_injected += 1;
+        }
+    }
+
+    /// The remote twin of [`Transport::receive`]: updates arrive already
+    /// codec-encoded by the worker fleet (`wire_bytes` = what actually
+    /// crossed the network, `state` = the reconstruction the worker's
+    /// encoder pinned), so the transport charges the reported wire size,
+    /// absorbs the advanced residuals, and applies the *same* fate and
+    /// quarantine draws as the in-process path — in the same per-update
+    /// order, so meters, telemetry, and survivor sets stay bit-identical
+    /// to the simulated run at the same seed.
+    pub fn receive_remote(
+        &mut self,
+        round: usize,
+        updates: Vec<RemoteUpdate>,
+        stale: Option<&[f32]>,
+    ) -> Vec<ClientUpdate> {
+        let expected_len = updates.first().map_or(0, |u| u.state.len());
+        let mut kept = Vec::with_capacity(updates.len());
+        for mut u in updates {
+            match u.wire_bytes {
+                Some(n) => self.meter.up_wire(n),
+                None => self.meter.up(u.state.len()),
+            }
+            if let (Some(r), BaseCodec::TopK(_)) = (u.residual.take(), self.codec.base) {
+                self.residuals.insert(u.client, r);
+            }
+            let arrived = !self.active
+                || !matches!(
+                    self.uplink_fate(round, u.client, &mut u.state, stale),
+                    UplinkFate::Lost
+                );
+            if arrived && self.screen(&u.state, expected_len) {
+                kept.push(ClientUpdate {
+                    client: u.client,
+                    state: u.state,
+                    weight: u.weight,
+                    steps: u.steps,
+                });
             }
         }
         kept
@@ -710,6 +781,132 @@ mod tests {
         assert_eq!(t.meter().uplink_bytes(), (2 * wire) as f64);
         // …and the client-side residuals advanced anyway.
         assert_eq!(t.codec_residuals().len(), 2);
+    }
+
+    #[test]
+    fn retry_policy_mirrors_the_fault_plan() {
+        // `--retries N` = N + 1 attempts, the same mapping the networked
+        // transport sleeps on.
+        let plan = FaultPlan {
+            max_downlink_retries: 5,
+            ..FaultPlan::none()
+        };
+        let t = Transport::new(&cfg_with(plan, 0));
+        assert_eq!(t.retry_policy().max_attempts, 6);
+        assert_eq!(t.retry_policy().retries(), 5);
+        assert_eq!(t.retry_policy().attempts().count(), 6);
+    }
+
+    #[test]
+    fn broadcast_charges_every_policy_attempt() {
+        // Wire honesty per attempt: with total loss, every attempt the
+        // policy allows is transmitted and charged.
+        for retries in [0usize, 1, 3] {
+            let plan = FaultPlan {
+                downlink_loss: 1.0,
+                max_downlink_retries: retries,
+                ..FaultPlan::none()
+            };
+            let mut t = Transport::new(&cfg_with(plan, 11));
+            let attempts = t.retry_policy().max_attempts as usize;
+            t.broadcast(0, &[0, 1], 7);
+            assert_eq!(
+                t.meter().total_bytes(),
+                (2 * attempts * 7) as f64 * 4.0,
+                "retries={retries}: every attempt must be charged"
+            );
+            assert_eq!(t.telemetry().retries, 2 * (attempts - 1));
+        }
+    }
+
+    #[test]
+    fn remote_receive_is_bit_identical_to_in_process() {
+        // The networked server's uplink path (worker encodes, server
+        // absorbs) must reproduce the simulated path bit-for-bit: same
+        // survivors, same states, same meter, same telemetry, same
+        // residuals.
+        let plan = FaultPlan {
+            uplink_loss: 0.3,
+            corruption_rate: 0.25,
+            straggler_rate: 0.3,
+            round_deadline: 1.0,
+            ..FaultPlan::none()
+        };
+        for spec in ["none", "q8", "delta+q8+sr", "topk:0.5"] {
+            let mut cfg = cfg_with_codec(spec, 9);
+            cfg.faults = plan;
+            let mut local = Transport::new(&cfg);
+            let mut net = Transport::new(&cfg);
+            let reference: Vec<f32> = (0..20).map(|i| i as f32 * 0.1).collect();
+            for round in 0..3usize {
+                let updates: Vec<ClientUpdate> = (0..6)
+                    .map(|c| update(c, (0..20).map(|i| ((i + c) as f32) * 0.07 - 0.3).collect()))
+                    .collect();
+                let remote: Vec<RemoteUpdate> = updates
+                    .iter()
+                    .map(|u| {
+                        if net.codec().is_none() {
+                            RemoteUpdate {
+                                client: u.client,
+                                steps: u.steps,
+                                weight: u.weight,
+                                state: u.state.clone(),
+                                wire_bytes: None,
+                                residual: None,
+                            }
+                        } else {
+                            // What the worker process does, via the same
+                            // shared encode entry point.
+                            let residual = match net.codec().base {
+                                BaseCodec::TopK(_) => Some(net.residual_for(u.client)),
+                                _ => None,
+                            };
+                            let (enc, residual) = codec::encode_for_upload(
+                                net.codec(),
+                                cfg.seed,
+                                round,
+                                u.client,
+                                &u.state,
+                                Some(&reference),
+                                residual,
+                            );
+                            RemoteUpdate {
+                                client: u.client,
+                                steps: u.steps,
+                                weight: u.weight,
+                                state: enc.decoded,
+                                wire_bytes: Some(enc.wire.len()),
+                                residual,
+                            }
+                        }
+                    })
+                    .collect();
+                let kept_local = local.receive(round, updates, Some(&reference), Some(&reference));
+                let kept_net = net.receive_remote(round, remote, Some(&reference));
+                let key = |v: &[ClientUpdate]| {
+                    v.iter()
+                        .map(|u| {
+                            (
+                                u.client,
+                                u.state.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(key(&kept_local), key(&kept_net), "{spec} round {round}");
+                assert_eq!(
+                    local.meter().total_bytes(),
+                    net.meter().total_bytes(),
+                    "{spec} round {round}: meters diverged"
+                );
+                assert_eq!(local.telemetry(), net.telemetry(), "{spec} round {round}");
+                assert_eq!(
+                    local.codec_residuals(),
+                    net.codec_residuals(),
+                    "{spec} round {round}: residuals diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use fedclust_tensor::rng::streams;
 
 /// Every stream label, in declaration order. Extend when adding a stream.
-const ALL: [(&str, u64); 11] = [
+const ALL: [(&str, u64); 13] = [
     ("DATA", streams::DATA),
     ("PARTITION", streams::PARTITION),
     ("MODEL_INIT", streams::MODEL_INIT),
@@ -20,6 +20,8 @@ const ALL: [(&str, u64); 11] = [
     ("FAULT_UPLINK", streams::FAULT_UPLINK),
     ("FAULT_CORRUPT", streams::FAULT_CORRUPT),
     ("CODEC", streams::CODEC),
+    ("RETRY_BACKOFF", streams::RETRY_BACKOFF),
+    ("CHAOS", streams::CHAOS),
 ];
 
 #[test]

@@ -708,7 +708,9 @@ fn rule_codec_checked_arith(
     let in_checkpoint = ctx.rel_path.ends_with("fl/src/checkpoint.rs");
     let in_persist = ctx.rel_path.ends_with("core/src/persist.rs");
     let in_codec = ctx.rel_path.ends_with("fl/src/codec.rs");
-    if ctx.is_bin || !(in_checkpoint || in_persist || in_codec) {
+    let in_proto =
+        ctx.rel_path.ends_with("proto/src/wire.rs") || ctx.rel_path.ends_with("proto/src/msg.rs");
+    if ctx.is_bin || !(in_checkpoint || in_persist || in_codec || in_proto) {
         return;
     }
     for item in items {
@@ -718,7 +720,11 @@ fn rule_codec_checked_arith(
         let codec = (in_checkpoint
             && (item.impl_type.as_deref() == Some("Dec") || item.name.starts_with("decode")))
             || (in_persist && matches!(item.name.as_str(), "restore" | "from_json"))
-            || (in_codec && item.name.starts_with("decode"));
+            || (in_codec && item.name.starts_with("decode"))
+            || (in_proto
+                && (item.impl_type.as_deref() == Some("Dec")
+                    || item.name.starts_with("decode")
+                    || item.name.starts_with("read_")));
         if !codec {
             continue;
         }

@@ -1,0 +1,673 @@
+//! Message layer: typed messages over [`crate::wire`] frames.
+//!
+//! Per-message payload layouts (all little-endian, offsets in bytes):
+//!
+//! ```text
+//! Hello    (1): u16 version
+//! Welcome  (2): u32 worker_id, u32 argc, argc × { u32 len, utf-8 bytes }
+//! Reject   (3): u32 len, utf-8 bytes
+//! PullWork (4): empty
+//! Work     (5): u8 mode, u32 round, u32 client, u32 epochs,
+//!               u8 has_prox, f32 prox_mu, vec_f32 state, vec_f32 residual
+//! Wait     (6): u32 millis
+//! Busy     (7): u32 millis
+//! Push     (8): u8 mode, u32 round, u32 client, u32 steps, f32 weight,
+//!               u8 encoding, raw: vec_f32 state
+//!                            codec: bytes wire, vec_f32 residual
+//! Ack      (9): u32 round, u32 client
+//! Done    (10): empty
+//! ```
+//!
+//! where `vec_f32` = `u32 count` + `count × f32` and `bytes` =
+//! `u32 len` + `len` raw bytes. `Work` and `Push` deliberately place
+//! `round` at payload offset 1 and `client` at offset 5 (and `Ack` at
+//! 0/4) so the chaos proxy can key its per-frame fate draws on
+//! `(round, client)` without a full decode — see [`frame_keys`].
+
+use crate::wire::{self, Frame, ProtoError};
+use std::io::{Read, Write};
+
+/// Message kind bytes. Dense from 1; 0 is reserved as "never valid".
+pub const KIND_HELLO: u8 = 1;
+pub const KIND_WELCOME: u8 = 2;
+pub const KIND_REJECT: u8 = 3;
+pub const KIND_PULL_WORK: u8 = 4;
+pub const KIND_WORK: u8 = 5;
+pub const KIND_WAIT: u8 = 6;
+pub const KIND_BUSY: u8 = 7;
+pub const KIND_PUSH: u8 = 8;
+pub const KIND_ACK: u8 = 9;
+pub const KIND_DONE: u8 = 10;
+
+/// `Work`/`Push` mode: a normal local-training round.
+pub const MODE_TRAIN: u8 = 0;
+/// `Work`/`Push` mode: FedClust round-0 warmup; the worker returns its
+/// raw full state and the server extracts the partial-weight slice.
+pub const MODE_WARMUP: u8 = 1;
+
+/// Cap on f32 vector element counts (16 Mi elements = 64 MiB).
+pub const MAX_VEC_ELEMS: usize = wire::MAX_PAYLOAD_BYTES / 4;
+/// Cap on string field byte lengths.
+pub const MAX_STR_BYTES: usize = 1 << 16;
+/// Cap on `Welcome` argv entries.
+pub const MAX_ARGV: usize = 128;
+
+/// The update a worker pushes back: either the raw state vector
+/// (codec "none" and warmup mode) or the codec wire bytes plus the
+/// worker's updated error-feedback residual.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PushBody {
+    Raw(Vec<f32>),
+    Encoded { wire: Vec<u8>, residual: Vec<f32> },
+}
+
+const ENCODING_RAW: u8 = 0;
+const ENCODING_CODEC: u8 = 1;
+
+/// Every message `fedclustd`, workers, and the chaos proxy exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → server, first frame on a connection.
+    Hello { version: u16 },
+    /// Server → worker: accepted; `argv` is the canonical `run`
+    /// command line the worker replays to rebuild the identical
+    /// dataset/config/model template locally.
+    Welcome { worker_id: u32, argv: Vec<String> },
+    /// Server → worker: handshake refused (version skew, bad state).
+    Reject { reason: String },
+    /// Worker → server: give me a unit of work.
+    PullWork,
+    /// Server → worker: train `client` at `round` from `state`.
+    Work {
+        mode: u8,
+        round: u32,
+        client: u32,
+        epochs: u32,
+        prox_mu: Option<f32>,
+        state: Vec<f32>,
+        residual: Vec<f32>,
+    },
+    /// Server → worker: nothing to do right now, poll again in
+    /// `millis`.
+    Wait { millis: u32 },
+    /// Server → worker: backpressure — too many un-consumed uploads in
+    /// flight; retry the *same* push after `millis`.
+    Busy { millis: u32 },
+    /// Worker → server: finished unit of work.
+    Push {
+        mode: u8,
+        round: u32,
+        client: u32,
+        steps: u32,
+        weight: f32,
+        body: PushBody,
+    },
+    /// Server → worker: push accepted (idempotent; duplicates of an
+    /// already-recorded `(round, client)` are acked and discarded).
+    Ack { round: u32, client: u32 },
+    /// Server → worker: run complete, disconnect.
+    Done,
+}
+
+impl Msg {
+    /// The frame kind byte for this message.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => KIND_HELLO,
+            Msg::Welcome { .. } => KIND_WELCOME,
+            Msg::Reject { .. } => KIND_REJECT,
+            Msg::PullWork => KIND_PULL_WORK,
+            Msg::Work { .. } => KIND_WORK,
+            Msg::Wait { .. } => KIND_WAIT,
+            Msg::Busy { .. } => KIND_BUSY,
+            Msg::Push { .. } => KIND_PUSH,
+            Msg::Ack { .. } => KIND_ACK,
+            Msg::Done => KIND_DONE,
+        }
+    }
+
+    /// Encode into a complete frame (header + payload + checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        match self {
+            Msg::Hello { version } => enc.put_u16(*version),
+            Msg::Welcome { worker_id, argv } => {
+                enc.put_u32(*worker_id);
+                enc.put_u32(argv.len() as u32);
+                for arg in argv {
+                    enc.put_str(arg);
+                }
+            }
+            Msg::Reject { reason } => enc.put_str(reason),
+            Msg::PullWork | Msg::Done => {}
+            Msg::Work {
+                mode,
+                round,
+                client,
+                epochs,
+                prox_mu,
+                state,
+                residual,
+            } => {
+                enc.put_u8(*mode);
+                enc.put_u32(*round);
+                enc.put_u32(*client);
+                enc.put_u32(*epochs);
+                enc.put_u8(u8::from(prox_mu.is_some()));
+                enc.put_f32(prox_mu.unwrap_or(0.0));
+                enc.put_vec_f32(state);
+                enc.put_vec_f32(residual);
+            }
+            Msg::Wait { millis } | Msg::Busy { millis } => enc.put_u32(*millis),
+            Msg::Push {
+                mode,
+                round,
+                client,
+                steps,
+                weight,
+                body,
+            } => {
+                enc.put_u8(*mode);
+                enc.put_u32(*round);
+                enc.put_u32(*client);
+                enc.put_u32(*steps);
+                enc.put_f32(*weight);
+                match body {
+                    PushBody::Raw(state) => {
+                        enc.put_u8(ENCODING_RAW);
+                        enc.put_vec_f32(state);
+                    }
+                    PushBody::Encoded { wire, residual } => {
+                        enc.put_u8(ENCODING_CODEC);
+                        enc.put_bytes(wire);
+                        enc.put_vec_f32(residual);
+                    }
+                }
+            }
+            Msg::Ack { round, client } => {
+                enc.put_u32(*round);
+                enc.put_u32(*client);
+            }
+        }
+        wire::encode_frame(self.kind(), &enc.buf)
+    }
+
+    /// Decode a validated frame into a typed message. Total: hostile
+    /// payloads produce [`ProtoError`], never a panic, and the payload
+    /// must be consumed exactly (no trailing bytes).
+    pub fn decode_frame(frame: &Frame) -> Result<Msg, ProtoError> {
+        let mut dec = Dec::new(&frame.payload);
+        let msg = match frame.kind {
+            KIND_HELLO => Msg::Hello {
+                version: dec.decode_u16()?,
+            },
+            KIND_WELCOME => {
+                let worker_id = dec.decode_u32()?;
+                let argc = dec.decode_u32()? as usize;
+                if argc > MAX_ARGV {
+                    return Err(ProtoError::ImplausibleCount(argc));
+                }
+                let mut argv = Vec::with_capacity(argc.min(MAX_ARGV));
+                for _ in 0..argc.min(MAX_ARGV) {
+                    argv.push(dec.decode_string()?);
+                }
+                Msg::Welcome { worker_id, argv }
+            }
+            KIND_REJECT => Msg::Reject {
+                reason: dec.decode_string()?,
+            },
+            KIND_PULL_WORK => Msg::PullWork,
+            KIND_WORK => {
+                let mode = decode_mode(dec.decode_u8()?)?;
+                let round = dec.decode_u32()?;
+                let client = dec.decode_u32()?;
+                let epochs = dec.decode_u32()?;
+                let has_prox = dec.decode_u8()?;
+                if has_prox > 1 {
+                    return Err(ProtoError::BadField("has_prox"));
+                }
+                let prox_raw = dec.decode_f32()?;
+                Msg::Work {
+                    mode,
+                    round,
+                    client,
+                    epochs,
+                    prox_mu: (has_prox == 1).then_some(prox_raw),
+                    state: dec.decode_vec_f32()?,
+                    residual: dec.decode_vec_f32()?,
+                }
+            }
+            KIND_WAIT => Msg::Wait {
+                millis: dec.decode_u32()?,
+            },
+            KIND_BUSY => Msg::Busy {
+                millis: dec.decode_u32()?,
+            },
+            KIND_PUSH => {
+                let mode = decode_mode(dec.decode_u8()?)?;
+                let round = dec.decode_u32()?;
+                let client = dec.decode_u32()?;
+                let steps = dec.decode_u32()?;
+                let weight = dec.decode_f32()?;
+                let encoding = dec.decode_u8()?;
+                let body = match encoding {
+                    ENCODING_RAW => PushBody::Raw(dec.decode_vec_f32()?),
+                    ENCODING_CODEC => PushBody::Encoded {
+                        wire: dec.decode_bytes()?,
+                        residual: dec.decode_vec_f32()?,
+                    },
+                    _ => return Err(ProtoError::BadField("encoding")),
+                };
+                Msg::Push {
+                    mode,
+                    round,
+                    client,
+                    steps,
+                    weight,
+                    body,
+                }
+            }
+            KIND_ACK => Msg::Ack {
+                round: dec.decode_u32()?,
+                client: dec.decode_u32()?,
+            },
+            KIND_DONE => Msg::Done,
+            other => return Err(ProtoError::BadKind(other)),
+        };
+        dec.finish()?;
+        Ok(msg)
+    }
+}
+
+fn decode_mode(mode: u8) -> Result<u8, ProtoError> {
+    if mode == MODE_TRAIN || mode == MODE_WARMUP {
+        Ok(mode)
+    } else {
+        Err(ProtoError::BadField("mode"))
+    }
+}
+
+/// Write one message to a stream as a frame.
+pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> Result<(), ProtoError> {
+    wire::write_frame_bytes(w, &msg.encode())
+}
+
+/// Read one message from a stream (checksum-verified).
+pub fn read_msg<R: Read>(r: &mut R) -> Result<Msg, ProtoError> {
+    let frame = wire::read_frame(r)?;
+    Msg::decode_frame(&frame)
+}
+
+/// Extract the `(round, client)` key from a raw frame's payload when
+/// its kind carries one, without a full decode. Used by the chaos proxy
+/// to key its deterministic fate draws. Returns `None` for kinds that
+/// carry no key or payloads too short to hold one.
+pub fn frame_keys(kind: u8, payload: &[u8]) -> Option<(u32, u32)> {
+    let at = match kind {
+        KIND_WORK | KIND_PUSH => 1usize,
+        KIND_ACK => 0usize,
+        _ => return None,
+    };
+    let round = read_u32_key(payload, at)?;
+    let client = read_u32_key(payload, at.checked_add(4)?)?;
+    Some((round, client))
+}
+
+fn read_u32_key(payload: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let slice = payload.get(at..end)?;
+    let arr: [u8; 4] = slice.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
+/// Little-endian payload builder.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_vec_f32(&mut self, v: &[f32]) {
+        assert!(v.len() <= MAX_VEC_ELEMS, "vector exceeds wire cap");
+        self.put_u32(v.len() as u32);
+        for &x in v {
+            self.put_f32(x);
+        }
+    }
+    fn put_bytes(&mut self, v: &[u8]) {
+        assert!(v.len() <= wire::MAX_PAYLOAD_BYTES, "bytes exceed wire cap");
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn put_str(&mut self, s: &str) {
+        assert!(s.len() <= MAX_STR_BYTES, "string exceeds wire cap");
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Little-endian payload cursor. All reads are `.get()`-based with
+/// checked offset arithmetic; element counts are capped before any
+/// count-derived allocation.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn decode_take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(ProtoError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn decode_u8(&mut self) -> Result<u8, ProtoError> {
+        let slice = self.decode_take(1)?;
+        Ok(*slice.first().ok_or(ProtoError::Truncated)?)
+    }
+
+    fn decode_u16(&mut self) -> Result<u16, ProtoError> {
+        let slice = self.decode_take(2)?;
+        let arr: [u8; 2] = slice.try_into().map_err(|_| ProtoError::Truncated)?;
+        Ok(u16::from_le_bytes(arr))
+    }
+
+    fn decode_u32(&mut self) -> Result<u32, ProtoError> {
+        let slice = self.decode_take(4)?;
+        let arr: [u8; 4] = slice.try_into().map_err(|_| ProtoError::Truncated)?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn decode_f32(&mut self) -> Result<f32, ProtoError> {
+        let slice = self.decode_take(4)?;
+        let arr: [u8; 4] = slice.try_into().map_err(|_| ProtoError::Truncated)?;
+        Ok(f32::from_le_bytes(arr))
+    }
+
+    /// `u32 count` + `count × f32`. The count is capped *before* the
+    /// byte take, so a hostile count errors without allocating; the
+    /// resulting Vec's size is bounded by the actual payload bytes.
+    fn decode_vec_f32(&mut self) -> Result<Vec<f32>, ProtoError> {
+        let n = self.decode_u32()? as usize;
+        if n > MAX_VEC_ELEMS {
+            return Err(ProtoError::ImplausibleCount(n));
+        }
+        let byte_len = n
+            .min(MAX_VEC_ELEMS)
+            .checked_mul(4)
+            .ok_or(ProtoError::Truncated)?;
+        let bytes = self.decode_take(byte_len)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| {
+                let arr: [u8; 4] = c.try_into().unwrap_or_default();
+                f32::from_le_bytes(arr)
+            })
+            .collect())
+    }
+
+    /// `u32 len` + `len` raw bytes, capped at the frame payload cap.
+    fn decode_bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let n = self.decode_u32()? as usize;
+        if n > wire::MAX_PAYLOAD_BYTES {
+            return Err(ProtoError::ImplausibleCount(n));
+        }
+        let bytes = self.decode_take(n.min(wire::MAX_PAYLOAD_BYTES))?;
+        Ok(bytes.to_vec())
+    }
+
+    fn decode_string(&mut self) -> Result<String, ProtoError> {
+        let n = self.decode_u32()? as usize;
+        if n > MAX_STR_BYTES {
+            return Err(ProtoError::ImplausibleCount(n));
+        }
+        let bytes = self.decode_take(n.min(MAX_STR_BYTES))?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    /// Every decoder must consume the payload exactly; leftovers mean a
+    /// peer speaking a different (perhaps future) layout.
+    fn finish(&self) -> Result<(), ProtoError> {
+        let extra = self.buf.len().saturating_sub(self.pos);
+        if extra != 0 {
+            return Err(ProtoError::TrailingBytes(extra));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::decode_frame;
+
+    fn roundtrip(msg: &Msg) -> Msg {
+        let bytes = msg.encode();
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.kind, msg.kind());
+        Msg::decode_frame(&frame).unwrap()
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let msgs = vec![
+            Msg::Hello { version: 1 },
+            Msg::Welcome {
+                worker_id: 3,
+                argv: vec!["run".into(), "--seed".into(), "42".into()],
+            },
+            Msg::Reject {
+                reason: "version skew".into(),
+            },
+            Msg::PullWork,
+            Msg::Work {
+                mode: MODE_TRAIN,
+                round: 4,
+                client: 17,
+                epochs: 3,
+                prox_mu: Some(0.01),
+                state: vec![1.0, -2.5, 0.0],
+                residual: vec![0.125],
+            },
+            Msg::Work {
+                mode: MODE_WARMUP,
+                round: 0,
+                client: 2,
+                epochs: 1,
+                prox_mu: None,
+                state: vec![],
+                residual: vec![],
+            },
+            Msg::Wait { millis: 50 },
+            Msg::Busy { millis: 120 },
+            Msg::Push {
+                mode: MODE_TRAIN,
+                round: 4,
+                client: 17,
+                steps: 12,
+                weight: 80.0,
+                body: PushBody::Encoded {
+                    wire: vec![9, 8, 7],
+                    residual: vec![0.5, -0.5],
+                },
+            },
+            Msg::Push {
+                mode: MODE_WARMUP,
+                round: 0,
+                client: 2,
+                steps: 5,
+                weight: 10.0,
+                body: PushBody::Raw(vec![3.0, 4.0]),
+            },
+            Msg::Ack {
+                round: 4,
+                client: 17,
+            },
+            Msg::Done,
+        ];
+        for msg in &msgs {
+            assert_eq!(&roundtrip(msg), msg);
+        }
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let mut buf = Vec::new();
+        let work = Msg::Work {
+            mode: MODE_TRAIN,
+            round: 1,
+            client: 2,
+            epochs: 3,
+            prox_mu: None,
+            state: vec![1.0],
+            residual: vec![],
+        };
+        write_msg(&mut buf, &work).unwrap();
+        write_msg(&mut buf, &Msg::Done).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_msg(&mut cursor), Ok(work));
+        assert_eq!(read_msg(&mut cursor), Ok(Msg::Done));
+        // Stream exhausted → clean EOF error, not a panic.
+        assert_eq!(
+            read_msg(&mut cursor),
+            Err(ProtoError::Io(std::io::ErrorKind::UnexpectedEof))
+        );
+    }
+
+    #[test]
+    fn frame_keys_pinned_offsets() {
+        // The chaos proxy depends on these exact payload offsets; a
+        // layout change must show up here, not as silent mis-keying.
+        for msg in [
+            Msg::Work {
+                mode: MODE_TRAIN,
+                round: 7,
+                client: 13,
+                epochs: 1,
+                prox_mu: None,
+                state: vec![],
+                residual: vec![],
+            },
+            Msg::Push {
+                mode: MODE_TRAIN,
+                round: 7,
+                client: 13,
+                steps: 1,
+                weight: 1.0,
+                body: PushBody::Raw(vec![]),
+            },
+            Msg::Ack {
+                round: 7,
+                client: 13,
+            },
+        ] {
+            let frame = decode_frame(&msg.encode()).unwrap();
+            assert_eq!(
+                frame_keys(frame.kind, &frame.payload),
+                Some((7, 13)),
+                "kind {} lost its (round, client) key",
+                frame.kind
+            );
+        }
+        let hello = decode_frame(&Msg::Hello { version: 1 }.encode()).unwrap();
+        assert_eq!(frame_keys(hello.kind, &hello.payload), None);
+        assert_eq!(frame_keys(KIND_WORK, &[0, 1]), None); // too short
+    }
+
+    #[test]
+    fn hostile_fields_error_not_panic() {
+        // Unknown kind.
+        let frame = Frame {
+            kind: 99,
+            payload: vec![],
+        };
+        assert_eq!(Msg::decode_frame(&frame), Err(ProtoError::BadKind(99)));
+
+        // Bad mode byte in Work.
+        let bytes = Msg::Work {
+            mode: MODE_TRAIN,
+            round: 0,
+            client: 0,
+            epochs: 1,
+            prox_mu: None,
+            state: vec![],
+            residual: vec![],
+        }
+        .encode();
+        let mut work = decode_frame(&bytes).unwrap();
+        work.payload[0] = 2;
+        assert_eq!(Msg::decode_frame(&work), Err(ProtoError::BadField("mode")));
+
+        // Hostile vector count in Push: claims u32::MAX elements.
+        let mut payload = vec![MODE_TRAIN];
+        payload.extend_from_slice(&0u32.to_le_bytes()); // round
+        payload.extend_from_slice(&0u32.to_le_bytes()); // client
+        payload.extend_from_slice(&1u32.to_le_bytes()); // steps
+        payload.extend_from_slice(&1.0f32.to_le_bytes()); // weight
+        payload.push(ENCODING_RAW);
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        let frame = Frame {
+            kind: KIND_PUSH,
+            payload,
+        };
+        assert_eq!(
+            Msg::decode_frame(&frame),
+            Err(ProtoError::ImplausibleCount(u32::MAX as usize))
+        );
+
+        // Trailing garbage after a well-formed Ack.
+        let mut ack = decode_frame(
+            &Msg::Ack {
+                round: 1,
+                client: 2,
+            }
+            .encode(),
+        )
+        .unwrap();
+        ack.payload.push(0xAB);
+        assert_eq!(Msg::decode_frame(&ack), Err(ProtoError::TrailingBytes(1)));
+
+        // Non-UTF-8 reject reason.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xff, 0xfe]);
+        let frame = Frame {
+            kind: KIND_REJECT,
+            payload,
+        };
+        assert_eq!(Msg::decode_frame(&frame), Err(ProtoError::BadUtf8));
+    }
+
+    #[test]
+    fn welcome_argv_cap_enforced() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes()); // worker_id
+        payload.extend_from_slice(&(MAX_ARGV as u32 + 1).to_le_bytes());
+        let frame = Frame {
+            kind: KIND_WELCOME,
+            payload,
+        };
+        assert_eq!(
+            Msg::decode_frame(&frame),
+            Err(ProtoError::ImplausibleCount(MAX_ARGV + 1))
+        );
+    }
+}

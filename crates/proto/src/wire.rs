@@ -1,0 +1,383 @@
+//! Frame layer: length-prefixed, versioned, checksummed byte frames.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset   size  field
+//! 0        4     magic "FCLP"
+//! 4        2     protocol version
+//! 6        1     message kind
+//! 7        1     flags (reserved, must be zero)
+//! 8        4     payload length in bytes (<= MAX_PAYLOAD_BYTES)
+//! 12       len   payload
+//! 12+len   8     FNV-1a-64 checksum over header + payload
+//! ```
+//!
+//! The checksum covers the header so a flipped kind or length byte is
+//! detected, not just payload damage. A hostile length field errors with
+//! [`ProtoError::Oversized`] *before* any allocation happens, so a peer
+//! cannot make the reader balloon its heap with a 12-byte frame.
+
+use std::io::{Read, Write};
+
+/// First bytes of every frame; anything else means the peer is not
+/// speaking this protocol (or the stream lost sync) and the connection
+/// must be dropped rather than resynchronised.
+pub const MAGIC: [u8; 4] = *b"FCLP";
+
+/// Protocol version carried in every frame. Version negotiation is
+/// exact-match: a `Hello` with a different version is answered with
+/// `Reject` and the connection closed.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Fixed header size: magic + version + kind + flags + payload length.
+pub const HEADER_BYTES: usize = 12;
+
+/// Trailing FNV-1a-64 checksum size.
+pub const CHECKSUM_BYTES: usize = 8;
+
+/// Hard cap on a single frame's payload. Large enough for a full
+/// `VggMini` state vector plus residual (each f32 = 4 bytes), small
+/// enough that a hostile length cannot cause a meaningful allocation
+/// spike: 64 MiB.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 26;
+
+/// Everything that can go wrong while decoding bytes into frames or
+/// messages. Deliberately mirrors the checkpoint codec's error taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Fewer bytes than the layout requires.
+    Truncated,
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Frame version differs from [`PROTO_VERSION`].
+    BadVersion(u16),
+    /// Unknown message kind byte.
+    BadKind(u8),
+    /// Reserved flags byte was non-zero.
+    BadFlags(u8),
+    /// Stored checksum does not match the recomputed one.
+    Checksum,
+    /// Header-declared payload length exceeds [`MAX_PAYLOAD_BYTES`].
+    Oversized(usize),
+    /// A count field exceeds its per-message cap.
+    ImplausibleCount(usize),
+    /// Payload bytes left over after the message was fully decoded.
+    TrailingBytes(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A field held a value outside its legal range (e.g. mode byte).
+    BadField(&'static str),
+    /// Underlying socket error, reduced to its kind so the error stays
+    /// comparable in tests and retry logic can branch on it.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame truncated"),
+            ProtoError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            ProtoError::BadVersion(v) => {
+                write!(f, "protocol version {v} (expected {PROTO_VERSION})")
+            }
+            ProtoError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            ProtoError::BadFlags(b) => write!(f, "reserved flags byte {b:#04x} non-zero"),
+            ProtoError::Checksum => write!(f, "frame checksum mismatch"),
+            ProtoError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds cap {MAX_PAYLOAD_BYTES}")
+            }
+            ProtoError::ImplausibleCount(n) => write!(f, "implausible element count {n}"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing payload bytes"),
+            ProtoError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtoError::BadField(name) => write!(f, "field `{name}` out of range"),
+            ProtoError::Io(kind) => write!(f, "io error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e.kind())
+    }
+}
+
+/// FNV-1a 64-bit, same constants as the checkpoint store uses.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A validated frame: version checked, flags zero, checksum verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Assemble a full frame (header + payload + checksum) for `kind`.
+///
+/// Panics only if `payload` exceeds [`MAX_PAYLOAD_BYTES`], which is a
+/// programming error on the *sending* side, never reachable from
+/// received bytes.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "frame payload {} exceeds cap {}",
+        payload.len(),
+        MAX_PAYLOAD_BYTES
+    );
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len() + CHECKSUM_BYTES);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    out.push(kind);
+    out.push(0); // flags, reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Read a little-endian u16 at a byte offset, bounds-checked.
+fn decode_u16_at(bytes: &[u8], at: usize) -> Result<u16, ProtoError> {
+    let end = at.checked_add(2).ok_or(ProtoError::Truncated)?;
+    let slice = bytes.get(at..end).ok_or(ProtoError::Truncated)?;
+    let arr: [u8; 2] = slice.try_into().map_err(|_| ProtoError::Truncated)?;
+    Ok(u16::from_le_bytes(arr))
+}
+
+/// Read a little-endian u32 at a byte offset, bounds-checked.
+fn decode_u32_at(bytes: &[u8], at: usize) -> Result<u32, ProtoError> {
+    let end = at.checked_add(4).ok_or(ProtoError::Truncated)?;
+    let slice = bytes.get(at..end).ok_or(ProtoError::Truncated)?;
+    let arr: [u8; 4] = slice.try_into().map_err(|_| ProtoError::Truncated)?;
+    Ok(u32::from_le_bytes(arr))
+}
+
+/// Read a little-endian u64 at a byte offset, bounds-checked.
+fn decode_u64_at(bytes: &[u8], at: usize) -> Result<u64, ProtoError> {
+    let end = at.checked_add(8).ok_or(ProtoError::Truncated)?;
+    let slice = bytes.get(at..end).ok_or(ProtoError::Truncated)?;
+    let arr: [u8; 8] = slice.try_into().map_err(|_| ProtoError::Truncated)?;
+    Ok(u64::from_le_bytes(arr))
+}
+
+/// Validate a header: magic, version, flags, and payload-length cap.
+/// Returns the declared payload length. Does not touch the payload.
+fn decode_header(head: &[u8]) -> Result<usize, ProtoError> {
+    let magic = head.get(..4).ok_or(ProtoError::Truncated)?;
+    if magic != MAGIC {
+        let arr: [u8; 4] = magic.try_into().map_err(|_| ProtoError::Truncated)?;
+        return Err(ProtoError::BadMagic(arr));
+    }
+    let version = decode_u16_at(head, 4)?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let flags = *head.get(7).ok_or(ProtoError::Truncated)?;
+    if flags != 0 {
+        return Err(ProtoError::BadFlags(flags));
+    }
+    let len = decode_u32_at(head, 8)? as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(ProtoError::Oversized(len));
+    }
+    Ok(len.min(MAX_PAYLOAD_BYTES))
+}
+
+/// Decode one frame from the front of `bytes`, returning it together
+/// with the number of bytes consumed. Extra bytes after the frame are
+/// left for the caller (streams carry back-to-back frames).
+pub fn decode_frame_prefix(bytes: &[u8]) -> Result<(Frame, usize), ProtoError> {
+    let head = bytes.get(..HEADER_BYTES).ok_or(ProtoError::Truncated)?;
+    let len = decode_header(head)?;
+    let body_end = HEADER_BYTES.checked_add(len).ok_or(ProtoError::Truncated)?;
+    let total = body_end
+        .checked_add(CHECKSUM_BYTES)
+        .ok_or(ProtoError::Truncated)?;
+    let body = bytes.get(..body_end).ok_or(ProtoError::Truncated)?;
+    if bytes.len() < total {
+        return Err(ProtoError::Truncated);
+    }
+    let stored = decode_u64_at(bytes, body_end)?;
+    if fnv64(body) != stored {
+        return Err(ProtoError::Checksum);
+    }
+    let kind = *body.get(6).ok_or(ProtoError::Truncated)?;
+    let payload = body.get(HEADER_BYTES..).ok_or(ProtoError::Truncated)?;
+    Ok((
+        Frame {
+            kind,
+            payload: payload.to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Decode a buffer that must hold exactly one frame.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, ProtoError> {
+    let (frame, consumed) = decode_frame_prefix(bytes)?;
+    let extra = bytes.len().saturating_sub(consumed);
+    if extra != 0 {
+        return Err(ProtoError::TrailingBytes(extra));
+    }
+    Ok(frame)
+}
+
+/// Read one checksum-verified frame from a stream.
+///
+/// The header is read and validated first, so a hostile declared length
+/// errors before any payload-sized allocation. The subsequent allocation
+/// is bounded by [`MAX_PAYLOAD_BYTES`] + [`CHECKSUM_BYTES`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
+    let raw = read_raw_frame(r)?;
+    decode_frame(&raw)
+}
+
+/// Read one frame's raw bytes (header + payload + checksum) from a
+/// stream *without* verifying the checksum. This is the chaos proxy's
+/// read path: it must stay frame-aligned (header is still validated so
+/// lengths are trusted-bounded) but forward damaged payloads verbatim —
+/// corruption detection is the receiving endpoint's job.
+pub fn read_raw_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, ProtoError> {
+    let mut head = [0u8; HEADER_BYTES];
+    r.read_exact(&mut head)?;
+    let len = decode_header(&head)?;
+    let rest_len = len
+        .min(MAX_PAYLOAD_BYTES)
+        .checked_add(CHECKSUM_BYTES)
+        .ok_or(ProtoError::Truncated)?;
+    let total = HEADER_BYTES
+        .checked_add(rest_len)
+        .ok_or(ProtoError::Truncated)?;
+    let mut out = vec![0u8; total];
+    let (front, rest) = out.split_at_mut(HEADER_BYTES);
+    front.copy_from_slice(&head);
+    r.read_exact(rest)?;
+    Ok(out)
+}
+
+/// Write pre-encoded frame bytes to a stream.
+pub fn write_frame_bytes<W: Write>(w: &mut W, bytes: &[u8]) -> Result<(), ProtoError> {
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_prefix_and_exact() {
+        let frame_bytes = encode_frame(7, b"hello frames");
+        let frame = decode_frame(&frame_bytes).unwrap();
+        assert_eq!(frame.kind, 7);
+        assert_eq!(frame.payload, b"hello frames");
+
+        let mut two = frame_bytes.clone();
+        two.extend_from_slice(&frame_bytes);
+        let (first, consumed) = decode_frame_prefix(&two).unwrap();
+        assert_eq!(first.kind, 7);
+        assert_eq!(consumed, frame_bytes.len());
+        let second = decode_frame(&two[consumed..]).unwrap();
+        assert_eq!(second, first);
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let bytes = encode_frame(3, &[]);
+        assert_eq!(bytes.len(), HEADER_BYTES + CHECKSUM_BYTES);
+        let frame = decode_frame(&bytes).unwrap();
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        let clean = encode_frame(5, b"checksum covers header and payload");
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut dirty = clean.clone();
+                dirty[byte] ^= 1 << bit;
+                assert!(
+                    decode_frame(&dirty).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_errors_before_allocation() {
+        // A 12-byte header claiming a 4 GiB payload must error with
+        // Oversized, not attempt the allocation and fail later.
+        let mut head = Vec::new();
+        head.extend_from_slice(&MAGIC);
+        head.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+        head.push(1);
+        head.push(0);
+        head.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame_prefix(&head),
+            Err(ProtoError::Oversized(u32::MAX as usize))
+        );
+        let mut cursor = std::io::Cursor::new(head);
+        assert_eq!(
+            read_raw_frame(&mut cursor),
+            Err(ProtoError::Oversized(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn bad_magic_version_flags() {
+        let clean = encode_frame(1, b"x");
+        let mut bad_magic = clean.clone();
+        bad_magic[0] = b'Z';
+        assert_eq!(
+            decode_frame(&bad_magic),
+            Err(ProtoError::BadMagic(*b"ZCLP"))
+        );
+
+        let mut bad_version = clean.clone();
+        bad_version[4] = 9;
+        assert_eq!(decode_frame(&bad_version), Err(ProtoError::BadVersion(9)));
+
+        let mut bad_flags = clean.clone();
+        bad_flags[7] = 0x80;
+        assert_eq!(decode_frame(&bad_flags), Err(ProtoError::BadFlags(0x80)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_exact_decode() {
+        let mut bytes = encode_frame(1, b"x");
+        bytes.push(0);
+        assert_eq!(decode_frame(&bytes), Err(ProtoError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let clean = encode_frame(2, b"truncate me at every prefix");
+        for cut in 0..clean.len() {
+            assert!(decode_frame(&clean[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn raw_read_skips_checksum_verification() {
+        let mut bytes = encode_frame(4, b"damaged in flight");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // corrupt the checksum trailer
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        let raw = read_raw_frame(&mut cursor).unwrap();
+        assert_eq!(raw, bytes);
+        // ...but the verifying decoder refuses the same bytes.
+        assert_eq!(decode_frame(&raw), Err(ProtoError::Checksum));
+    }
+}

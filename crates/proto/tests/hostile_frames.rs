@@ -1,0 +1,180 @@
+//! Fuzz-style battery for the wire decoder, mirroring the codec
+//! conformance suite's hostility model: arbitrary bytes, truncations,
+//! bit flips, and — the interesting class — frames whose *checksum is
+//! valid* but whose payload structure is hostile (lying counts, bad
+//! kinds, trailing garbage). The decoder must return a typed error or a
+//! size-bounded message; it must never panic and never allocate beyond
+//! the frame caps.
+
+use fedclust_proto::msg::{self, Msg, PushBody};
+use fedclust_proto::wire::{
+    decode_frame, decode_frame_prefix, encode_frame, fnv64, read_raw_frame, CHECKSUM_BYTES,
+    HEADER_BYTES, MAGIC, MAX_PAYLOAD_BYTES, PROTO_VERSION,
+};
+use proptest::prelude::*;
+
+/// Re-checksum a mutated frame so only the *structure* is hostile.
+fn reseal(frame: &mut Vec<u8>) {
+    let body_len = frame.len().saturating_sub(CHECKSUM_BYTES);
+    let sum = fnv64(&frame[..body_len]);
+    frame.truncate(body_len);
+    frame.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// A checksum-valid frame holding arbitrary kind + payload bytes.
+fn sealed_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    encode_frame(kind, payload)
+}
+
+/// Upper bound on the memory a decoded message may pin, given every
+/// vector/string cap is enforced before allocation.
+fn msg_is_bounded(m: &Msg) -> bool {
+    let vec_ok = |v: &Vec<f32>| v.len() <= msg::MAX_VEC_ELEMS;
+    match m {
+        Msg::Welcome { argv, .. } => {
+            argv.len() <= msg::MAX_ARGV && argv.iter().all(|a| a.len() <= msg::MAX_STR_BYTES)
+        }
+        Msg::Reject { reason } => reason.len() <= msg::MAX_STR_BYTES,
+        Msg::Work {
+            state, residual, ..
+        } => vec_ok(state) && vec_ok(residual),
+        Msg::Push { body, .. } => match body {
+            PushBody::Raw(state) => vec_ok(state),
+            PushBody::Encoded { wire, residual } => {
+                wire.len() <= MAX_PAYLOAD_BYTES && vec_ok(residual)
+            }
+        },
+        _ => true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raw garbage: any byte soup fed to the prefix decoder errors or
+    /// yields a bounded frame. Never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=u8::MAX, 0..256)) {
+        if let Ok((frame, consumed)) = decode_frame_prefix(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+            prop_assert!(frame.payload.len() <= MAX_PAYLOAD_BYTES);
+        }
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        if let Ok(raw) = read_raw_frame(&mut cursor) {
+            prop_assert!(raw.len() <= HEADER_BYTES + MAX_PAYLOAD_BYTES + CHECKSUM_BYTES);
+        }
+    }
+
+    /// Garbage that *starts like a frame*: valid magic + version, then
+    /// arbitrary kind/flags/length/payload bytes. Exercises the header
+    /// paths that pure noise rarely reaches.
+    #[test]
+    fn framed_garbage_never_panics(
+        kind in 0u8..=u8::MAX,
+        flags in 0u8..=u8::MAX,
+        len in 0u32..=u32::MAX,
+        tail in proptest::collection::vec(0u8..=u8::MAX, 0..128),
+    ) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+        bytes.push(kind);
+        bytes.push(flags);
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&tail);
+        let _ = decode_frame_prefix(&bytes);
+        let mut cursor = std::io::Cursor::new(bytes);
+        if let Ok(raw) = read_raw_frame(&mut cursor) {
+            prop_assert!(raw.len() <= HEADER_BYTES + MAX_PAYLOAD_BYTES + CHECKSUM_BYTES);
+        }
+    }
+
+    /// Checksum-valid but structurally hostile: arbitrary payload bytes
+    /// sealed under every message kind (plus unknown kinds). The message
+    /// decoder must error or return a size-bounded message.
+    #[test]
+    fn sealed_hostile_payloads_never_panic(
+        kind in 0u8..16,
+        payload in proptest::collection::vec(0u8..=u8::MAX, 0..512),
+    ) {
+        let bytes = sealed_frame(kind, &payload);
+        let frame = decode_frame(&bytes).expect("sealed frame passes the frame layer");
+        if let Ok(m) = Msg::decode_frame(&frame) {
+            prop_assert!(msg_is_bounded(&m));
+            // A successful decode must re-encode to the same frame:
+            // the layouts leave no room for two byte-strings mapping to
+            // one message (canonical encoding).
+            prop_assert_eq!(m.encode(), bytes);
+        }
+    }
+
+    /// Mutating any single byte of a real message's frame (then
+    /// resealing the checksum) never panics the message decoder.
+    #[test]
+    fn resealed_mutations_never_panic(
+        at in 0usize..64,
+        val in 0u8..=u8::MAX,
+        state in proptest::collection::vec(-2.0f32..2.0, 0..8),
+    ) {
+        let msg = Msg::Push {
+            mode: msg::MODE_TRAIN,
+            round: 3,
+            client: 9,
+            steps: 11,
+            weight: 4.0,
+            body: PushBody::Raw(state),
+        };
+        let mut bytes = msg.encode();
+        let body_len = bytes.len() - CHECKSUM_BYTES;
+        bytes[at % body_len] = val;
+        reseal(&mut bytes);
+        // Header mutation may invalidate the frame itself; that's fine.
+        if let Ok(frame) = decode_frame(&bytes) {
+            if let Ok(m) = Msg::decode_frame(&frame) {
+                prop_assert!(msg_is_bounded(&m));
+            }
+        }
+    }
+
+    /// Well-formed messages round-trip exactly through the full frame
+    /// path, including non-finite floats (the wire must not editorialise).
+    #[test]
+    fn work_roundtrips(
+        round in 0u32..=u32::MAX,
+        client in 0u32..=u32::MAX,
+        epochs in 0u32..=u32::MAX,
+        prox in (0u8..2, (0u32..=u32::MAX).prop_map(f32::from_bits))
+            .prop_map(|(has, v)| (has == 1).then_some(v)),
+        state in proptest::collection::vec(
+            (0u32..=u32::MAX).prop_map(f32::from_bits), 0..32),
+        residual in proptest::collection::vec(
+            (0u32..=u32::MAX).prop_map(f32::from_bits), 0..32),
+    ) {
+        let msg = Msg::Work {
+            mode: msg::MODE_TRAIN,
+            round,
+            client,
+            epochs,
+            prox_mu: prox,
+            state,
+            residual,
+        };
+        let frame = decode_frame(&msg.encode()).unwrap();
+        let back = Msg::decode_frame(&frame).unwrap();
+        // Compare via re-encoding so NaN payloads compare bitwise.
+        prop_assert_eq!(back.encode(), msg.encode());
+    }
+
+    /// Truncating a valid frame at any point errors cleanly.
+    #[test]
+    fn truncation_is_typed(cut_frac in 0.0f64..1.0) {
+        let msg = Msg::Welcome {
+            worker_id: 1,
+            argv: vec!["run".into(), "--clients".into(), "8".into()],
+        };
+        let bytes = msg.encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(decode_frame(&bytes[..cut]).is_err());
+    }
+}

@@ -55,6 +55,13 @@ pub mod streams {
     /// Update-compression codecs: stochastic rounding draws, per
     /// `(round, client)`.
     pub const CODEC: u64 = 11;
+    /// Retry backoff jitter for the shared bounded-retry policy, per
+    /// `(round, client, attempt)` — used by the networked transport so a
+    /// fleet of workers never retries in lock-step.
+    pub const RETRY_BACKOFF: u64 = 12;
+    /// Network chaos proxy: per-frame drop/delay/truncate/corrupt draws,
+    /// keyed by `(round, client)` when the frame carries them.
+    pub const CHAOS: u64 = 13;
 }
 
 #[cfg(test)]

@@ -34,6 +34,15 @@ echo "== codec conformance =="
 cargo test -q --test codec_conformance
 cargo test -q --test comm_accounting
 
+echo "== networked federation =="
+# Wire-protocol hostile-frame fuzzing, then the real binaries end to end:
+# server + worker fleet over localhost TCP (plain, codec-compressed,
+# through the chaos proxy, across a server SIGKILL + resume, and under
+# worker crashes) must be byte-identical to the in-process simulation.
+cargo test -q -p fedclust-proto
+cargo test -q -p fedclust-cli --test net_cli
+scripts/net_smoke.sh
+
 echo "== thread equivalence =="
 # The suite itself sweeps thread counts inside each test; running the whole
 # binary under two different pool defaults additionally proves the

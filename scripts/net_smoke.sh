@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Networked-federation smoke test: run FedClust through the real
+# `fedclustd` server with a fleet of `fedclust-worker` processes over
+# localhost TCP, SIGKILL the server mid-round, resume it on the same port
+# (the surviving workers reconnect), and require the resumed --json output
+# to be byte-identical to the in-process simulation at the same seed
+# (DESIGN.md §11, EXPERIMENTS.md "Networked federation"). Exits nonzero
+# on any divergence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/fedclust-net-smoke.XXXXXX")
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+CKPT="$WORK/ckpt"
+
+# Small enough to finish in seconds in release, big enough that the kill
+# lands mid-run (4 clients x 6 rounds, per-round checkpoints).
+ARGS=(--method fedclust --dataset fmnist --partition skew50
+  --clients 4 --rounds 6 --epochs 1 --samples-per-class 50
+  --seed 11 --json)
+
+cargo build --release -q -p fedclust-cli
+CLI=target/release/fedclust-cli
+SERVER=target/release/fedclustd
+WORKER=target/release/fedclust-worker
+
+echo "-- reference run (in-process simulation)"
+"$CLI" run "${ARGS[@]}" > "$WORK/reference.json"
+
+echo "-- networked run: server + 4 workers over localhost TCP"
+"$SERVER" --listen 127.0.0.1:0 --min-workers 2 \
+  --checkpoint-dir "$CKPT" --checkpoint-every 1 --keep 8 \
+  "${ARGS[@]}" > "$WORK/interrupted.json" 2> "$WORK/server.err" &
+SRV=$!
+PIDS+=("$SRV")
+disown "$SRV"
+
+ADDR=""
+for _ in $(seq 1 500); do
+  ADDR=$(sed -n 's/^fedclustd: listening on //p' "$WORK/server.err" | head -n1)
+  [ -n "$ADDR" ] && break
+  sleep 0.02
+done
+if [ -z "$ADDR" ]; then
+  echo "ERROR: server never printed its listen address" >&2
+  cat "$WORK/server.err" >&2
+  exit 1
+fi
+echo "   server at $ADDR"
+
+for _ in 1 2 3 4; do
+  "$WORKER" --connect "$ADDR" --io-timeout 1 --backoff-base 0.01 \
+    >/dev/null 2>&1 &
+  PIDS+=("$!")
+  disown "$!"
+done
+
+echo "-- SIGKILL the server after the first durable checkpoint"
+for _ in $(seq 1 3000); do
+  gens=$(ls "$CKPT" 2>/dev/null | grep -c '^ckpt-.*\.bin$' || true)
+  if [ "$gens" -ge 1 ]; then break; fi
+  if ! kill -0 "$SRV" 2>/dev/null; then break; fi
+  sleep 0.02
+done
+if kill -9 "$SRV" 2>/dev/null; then
+  echo "   killed pid $SRV"
+else
+  echo "   run finished before the kill (machine too fast) — resume still exercised"
+fi
+wait "$SRV" 2>/dev/null || true
+
+if ! ls "$CKPT"/ckpt-*.bin >/dev/null 2>&1; then
+  echo "ERROR: no checkpoint generation was written" >&2
+  exit 1
+fi
+
+echo "-- resume on the same port; surviving workers reconnect"
+OUT=""
+for _ in $(seq 1 50); do
+  if "$SERVER" --listen "$ADDR" --min-workers 1 \
+      --checkpoint-dir "$CKPT" --keep 8 --resume \
+      "${ARGS[@]}" > "$WORK/resumed.json" 2> "$WORK/resume.err"; then
+    OUT="$WORK/resumed.json"
+    break
+  fi
+  # Bind likely failed while the freed port settles; retry shortly.
+  sleep 0.2
+done
+if [ -z "$OUT" ]; then
+  echo "ERROR: could not rebind $ADDR for the resumed server" >&2
+  cat "$WORK/resume.err" >&2
+  exit 1
+fi
+
+if diff -q "$WORK/reference.json" "$OUT" >/dev/null; then
+  echo "OK: resumed networked output is byte-identical to the simulation"
+else
+  echo "ERROR: networked run diverged from the in-process simulation" >&2
+  diff "$WORK/reference.json" "$OUT" >&2 || true
+  exit 1
+fi
