@@ -1,0 +1,21 @@
+//! Paired release/acquire atomics: the Release store's partner Acquire
+//! load exists on the same field, and SeqCst sites satisfy either side
+//! without demanding one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Gate {
+    pub latch: AtomicUsize,
+    pub count: AtomicUsize,
+}
+
+pub fn open(g: &Gate) {
+    g.latch.store(1, Ordering::Release);
+    g.count.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn is_open(g: &Gate) -> bool {
+    g.latch.load(Ordering::Acquire) == 1
+}
+
+// fedlint-fixture: covers atomic-ordering-pairing

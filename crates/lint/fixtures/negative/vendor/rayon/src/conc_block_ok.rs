@@ -1,0 +1,27 @@
+//! Safe blocking shapes: the guard is dropped before the thread sleeps,
+//! and a `Condvar` wait holds only its own guard (which the condvar
+//! releases atomically).
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Inbox {
+    pub mail: Mutex<Vec<u8>>,
+    pub bell: Condvar,
+}
+
+pub fn drain_then_sleep(ib: &Inbox) {
+    let mut g = ib.mail.lock().unwrap();
+    g.clear();
+    drop(g);
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn wait_for_mail(ib: &Inbox) -> usize {
+    let mut g = ib.mail.lock().unwrap();
+    while g.is_empty() {
+        g = ib.bell.wait(g).unwrap();
+    }
+    g.len()
+}
+
+// fedlint-fixture: covers guard-across-blocking

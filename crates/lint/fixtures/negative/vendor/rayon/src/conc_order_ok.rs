@@ -1,0 +1,29 @@
+//! One global acquisition order (`outer` before `inner`), both directly
+//! and while holding `outer` across a call — the safe shape of the
+//! interprocedural lock-order analysis.
+
+use std::sync::Mutex;
+
+pub struct Nested {
+    pub outer: Mutex<u32>,
+    pub inner: Mutex<u32>,
+}
+
+pub fn outer_then_inner(n: &Nested) -> u32 {
+    let g = n.outer.lock().unwrap();
+    let v = grab_inner(n);
+    *g + v
+}
+
+pub fn grab_inner(n: &Nested) -> u32 {
+    let g = n.inner.lock().unwrap();
+    *g
+}
+
+pub fn straight_line(n: &Nested) -> u32 {
+    let go = n.outer.lock().unwrap();
+    let gi = n.inner.lock().unwrap();
+    *go * *gi
+}
+
+// fedlint-fixture: covers lock-order-global

@@ -1,0 +1,17 @@
+//! Seeded atomic-ordering-pairing violations: a Release store and an
+//! Acquire load, each on a field no other site touches.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Beacon {
+    pub ready: AtomicUsize,
+    pub epoch: AtomicUsize,
+}
+
+pub fn publish(b: &Beacon) {
+    b.ready.store(1, Ordering::Release);
+}
+
+pub fn observe(b: &Beacon) -> usize {
+    b.epoch.load(Ordering::Acquire)
+}

@@ -1,0 +1,26 @@
+//! Seeded guard-across-blocking violations: a guard held across a direct
+//! `thread::sleep`, and one held across a call whose callee writes to a
+//! socket.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Station {
+    pub journal: Mutex<Vec<u8>>,
+}
+
+pub fn nap_with_journal(st: &Station) {
+    let g = st.journal.lock().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    drop(g);
+}
+
+pub fn send_with_journal(st: &Station, out: &mut std::net::TcpStream) {
+    let g = st.journal.lock().unwrap();
+    ship(out);
+    drop(g);
+}
+
+fn ship(out: &mut std::net::TcpStream) {
+    let _ = out.write_all(b"frame");
+}

@@ -1,0 +1,15 @@
+//! Seeded cross-file lock-order cycle, first half: hold `alpha`, then
+//! acquire `beta` through a call into `conc_cycle_b`.
+
+use std::sync::Mutex;
+
+pub struct Rings {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+pub fn alpha_then_beta(r: &Rings) -> u32 {
+    let g = r.alpha.lock().unwrap();
+    let v = grab_beta(r);
+    *g + v
+}

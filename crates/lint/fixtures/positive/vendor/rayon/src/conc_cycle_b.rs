@@ -1,0 +1,21 @@
+//! Seeded cross-file lock-order cycle, second half: `grab_beta` is the
+//! callee the first half reaches while holding `alpha`; `beta_then_alpha`
+//! closes the cycle by holding `beta` across a call that takes `alpha`.
+
+use std::sync::Mutex;
+
+pub fn grab_beta(r: &crate::Rings) -> u32 {
+    let g = r.beta.lock().unwrap();
+    *g
+}
+
+pub fn beta_then_alpha(r: &crate::Rings) -> u32 {
+    let g = r.beta.lock().unwrap();
+    let v = grab_alpha(r);
+    *g - v
+}
+
+pub fn grab_alpha(r: &crate::Rings) -> u32 {
+    let g = r.alpha.lock().unwrap();
+    *g
+}

@@ -80,19 +80,51 @@ pub(crate) struct FnNode {
 /// pragma-filtered here (the driver cannot: it no longer sees the pragmas)
 /// and returned unsorted.
 pub fn global_findings(files: &[FileAnalysis]) -> Vec<Finding> {
+    global_findings_timed(files, None)
+}
+
+/// [`global_findings`] with optional per-rule/per-stage wall-time
+/// accounting.
+pub fn global_findings_timed(
+    files: &[FileAnalysis],
+    mut timings: Option<&mut crate::Timings>,
+) -> Vec<Finding> {
+    use std::time::Instant;
     let mut out = Vec::new();
+    let start = Instant::now();
     let nodes = build_graph(files);
+    crate::record_elapsed(&mut timings, "infra:callgraph", start);
+    let start = Instant::now();
     panic_reachability(&nodes, &mut out);
+    crate::record_elapsed(&mut timings, "panic-reachability", start);
+    let start = Instant::now();
     stream_collisions(files, &mut out);
     duplicate_derives(files, &mut out);
+    crate::record_elapsed(&mut timings, "rng-stream-collision", start);
+    let start = Instant::now();
     out.extend(crate::dataflow::taint_findings(
         files,
         &crate::dataflow::untrusted_input_spec(),
     ));
+    crate::record_elapsed(&mut timings, "untrusted-input-taint", start);
+    let start = Instant::now();
     out.extend(crate::dataflow::taint_findings(
         files,
         &crate::dataflow::determinism_spec(),
     ));
+    crate::record_elapsed(&mut timings, "determinism-taint", start);
+    let start = Instant::now();
+    let locksets = crate::concurrency::build(files, &nodes);
+    crate::record_elapsed(&mut timings, "infra:lockset-engine", start);
+    let start = Instant::now();
+    out.extend(crate::concurrency::lock_order_global(&locksets));
+    crate::record_elapsed(&mut timings, "lock-order-global", start);
+    let start = Instant::now();
+    out.extend(crate::concurrency::guard_across_blocking(&locksets));
+    crate::record_elapsed(&mut timings, "guard-across-blocking", start);
+    let start = Instant::now();
+    out.extend(crate::concurrency::atomic_ordering_pairing(files));
+    crate::record_elapsed(&mut timings, "atomic-ordering-pairing", start);
     out.retain(|f| {
         files
             .iter()

@@ -886,7 +886,7 @@ fn source_call_origin(fa: &FileAnalysis, k: usize, spec: &TaintSpec) -> Option<S
 }
 
 /// Find the matching close delimiter for the open delimiter at `open`.
-fn matching_close(code: &[Token], open: usize) -> usize {
+pub(crate) fn matching_close(code: &[Token], open: usize) -> usize {
     let mut depth = 0i64;
     let mut j = open;
     while j < code.len() && j - open < MAX_EXPR_TOKENS {
@@ -1107,8 +1107,9 @@ fn sink_determinism(
 // ---------------------------------------------------------------------------
 
 /// Atomic RMW / load / store method names whose `Ordering::Relaxed` use
-/// needs a justification pragma.
-const ATOMIC_METHODS: [&str; 13] = [
+/// needs a justification pragma. Shared with [`crate::concurrency`]'s
+/// atomic-ordering-pairing scan.
+pub(crate) const ATOMIC_METHODS: [&str; 13] = [
     "compare_exchange",
     "compare_exchange_weak",
     "fetch_add",
@@ -1125,14 +1126,15 @@ const ATOMIC_METHODS: [&str; 13] = [
 ];
 
 /// `pool-discipline`: the vendored thread-pool's concurrency protocol.
-/// Three checks over `vendor/rayon/src` files: (a) every
-/// `Ordering::Relaxed` needs a justification pragma, (b) Mutex acquisition
-/// order must be cycle-free (per-file lock-order graph), (c) `unsafe impl
-/// Send/Sync` needs a `// SAFETY:` comment.
+/// Two checks over `vendor/rayon/src` files: (a) every
+/// `Ordering::Relaxed` needs a justification pragma, (b) `unsafe impl
+/// Send/Sync` needs a `// SAFETY:` comment. (The v3 per-file lock-order
+/// check moved to the workspace-global, interprocedural
+/// `lock-order-global` rule in [`crate::concurrency`].)
 pub fn pool_discipline(
     rel_path: &str,
     code: &[Token],
-    items: &[Item],
+    _items: &[Item],
     in_test: &[bool],
     safety_ok: &dyn Fn(u32) -> bool,
     out: &mut Vec<Finding>,
@@ -1143,7 +1145,6 @@ pub fn pool_discipline(
     let test_line = |line: u32| in_test.get(line as usize).copied().unwrap_or(false);
     relaxed_orderings(rel_path, code, &test_line, out);
     unsafe_impl_send_sync(rel_path, code, &test_line, safety_ok, out);
-    lock_order(rel_path, code, items, out);
 }
 
 /// Check (a): naked `Ordering::Relaxed`.
@@ -1239,114 +1240,9 @@ fn unsafe_impl_send_sync(
     }
 }
 
-/// One held lock guard during the lock-order walk.
-struct Guard {
-    lock: String,
-    var: Option<String>,
-    depth: i64,
-    line: u32,
-}
-
-/// Check (b): build the per-file lock acquisition-order graph and report
-/// every acquisition edge that participates in a cycle (including
-/// re-acquiring a lock already held).
-fn lock_order(rel_path: &str, code: &[Token], items: &[Item], out: &mut Vec<Finding>) {
-    // (held lock -> acquired lock) -> first acquisition site line.
-    let mut edges: BTreeMap<(String, String), u32> = BTreeMap::new();
-    for item in items {
-        if item.kind != ItemKind::Fn || item.is_test {
-            continue;
-        }
-        let idxs = crate::callgraph::body_indices(item, items);
-        let mut held: Vec<Guard> = Vec::new();
-        let mut depth = 1i64;
-        for &k in &idxs {
-            let t = &code[k];
-            match t.text.as_str() {
-                "{" => depth += 1,
-                "}" => {
-                    depth -= 1;
-                    held.retain(|g| g.depth <= depth);
-                }
-                ";" => held.retain(|g| !(g.var.is_none() && g.depth >= depth)),
-                "drop"
-                    if text_at(code, k + 1) == "("
-                        && code.get(k + 2).is_some_and(|a| a.kind == TokKind::Ident)
-                        && text_at(code, k + 3) == ")" =>
-                {
-                    let var = text_at(code, k + 2).to_string();
-                    held.retain(|g| g.var.as_deref() != Some(var.as_str()));
-                }
-                "lock" if t.kind == TokKind::Ident => {
-                    let prev = if k == 0 { "" } else { text_at(code, k - 1) };
-                    let name = if prev == "." {
-                        receiver_name(code, k.saturating_sub(1))
-                    } else if text_at(code, k + 1) == "(" {
-                        last_ident_in_group(code, k + 1)
-                    } else {
-                        None
-                    };
-                    let Some(name) = name else { continue };
-                    let bound = let_bound_var(code, k);
-                    if let Some(v) = &bound {
-                        // Reassignment drops the old guard before the new
-                        // acquisition completes.
-                        held.retain(|g| g.var.as_deref() != Some(v.as_str()));
-                    }
-                    for g in &held {
-                        if g.lock == name {
-                            out.push(Finding {
-                                file: rel_path.to_string(),
-                                line: t.line,
-                                rule: "pool-discipline",
-                                message: format!(
-                                    "lock `{}` acquired while already held (first acquired at \
-                                     line {}); self-deadlock on a non-reentrant Mutex",
-                                    name, g.line
-                                ),
-                            });
-                        } else {
-                            edges
-                                .entry((g.lock.clone(), name.clone()))
-                                .or_insert(t.line);
-                        }
-                    }
-                    held.push(Guard {
-                        lock: name,
-                        var: bound,
-                        depth,
-                        line: t.line,
-                    });
-                }
-                _ => {}
-            }
-        }
-    }
-
-    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
-    for (a, b) in edges.keys() {
-        adj.entry(a.as_str()).or_default().insert(b.as_str());
-    }
-    for ((a, b), line) in &edges {
-        if let Some(path) = find_path(&adj, b, a) {
-            out.push(Finding {
-                file: rel_path.to_string(),
-                line: *line,
-                rule: "pool-discipline",
-                message: format!(
-                    "lock-order cycle: `{}` is held while acquiring `{}` here, but elsewhere \
-                     {}; impose one global acquisition order",
-                    a,
-                    b,
-                    path_text(&path)
-                ),
-            });
-        }
-    }
-}
-
-/// Deterministic DFS path from `from` to `to` in the lock graph.
-fn find_path<'a>(
+/// Deterministic DFS path from `from` to `to` in the lock graph. Used by
+/// [`crate::concurrency`]'s global cycle detection.
+pub(crate) fn find_path<'a>(
     adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
     from: &'a str,
     to: &str,
@@ -1373,14 +1269,9 @@ fn find_path<'a>(
     None
 }
 
-fn path_text(path: &[&str]) -> String {
-    let hops: Vec<String> = path.iter().map(|p| format!("`{p}`")).collect();
-    format!("{} is (transitively) acquired", hops.join(" -> "))
-}
-
 /// The receiver field/local of a `.lock()` call: the identifier ending the
 /// postfix chain before the dot at `dot`.
-fn receiver_name(code: &[Token], dot: usize) -> Option<String> {
+pub(crate) fn receiver_name(code: &[Token], dot: usize) -> Option<String> {
     let mut j = dot.checked_sub(1)?;
     if text_at(code, j) == "]" {
         // Skip a balanced index group: `slots[i].lock()`.
@@ -1407,7 +1298,7 @@ fn receiver_name(code: &[Token], dot: usize) -> Option<String> {
 
 /// The last identifier inside a call's argument group — for the free-fn
 /// form `lock(&self.queue)`, that names the Mutex field.
-fn last_ident_in_group(code: &[Token], open: usize) -> Option<String> {
+pub(crate) fn last_ident_in_group(code: &[Token], open: usize) -> Option<String> {
     let close = matching_close(code, open);
     code[open + 1..close.min(code.len())]
         .iter()
@@ -1418,7 +1309,7 @@ fn last_ident_in_group(code: &[Token], open: usize) -> Option<String> {
 
 /// Was the acquisition at token `k` bound by a `let` in the same statement?
 /// Returns the bound variable name.
-fn let_bound_var(code: &[Token], k: usize) -> Option<String> {
+pub(crate) fn let_bound_var(code: &[Token], k: usize) -> Option<String> {
     let floor = k.saturating_sub(16);
     let mut j = k;
     while j > floor {

@@ -26,6 +26,7 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod concurrency;
 pub mod dataflow;
 pub mod items;
 pub mod lexer;
@@ -34,6 +35,38 @@ pub mod rules;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Per-rule and per-stage wall-time accounting (schema 4's `timings_ms`).
+/// Keys are rule names plus `infra:*` stages (parse, callgraph, lock-set
+/// engine); durations accumulate across files. Timing is opt-in
+/// (`Option<&mut Timings>` throughout) so the default paths stay
+/// byte-identical and the unit tests stay timing-free.
+#[derive(Debug, Default)]
+pub struct Timings {
+    /// Accumulated wall time per key, sorted by key.
+    pub entries: BTreeMap<String, Duration>,
+}
+
+impl Timings {
+    /// Add `d` to `key`'s accumulated time.
+    pub fn record(&mut self, key: &str, d: Duration) {
+        *self.entries.entry(key.to_string()).or_default() += d;
+    }
+
+    /// Sum of every recorded segment (the report's `total`).
+    pub fn total(&self) -> Duration {
+        self.entries.values().sum()
+    }
+}
+
+/// Record `start.elapsed()` under `key` when timing is on. Shared helper
+/// for the optional-timings plumbing in [`rules`] and [`callgraph`].
+pub(crate) fn record_elapsed(timings: &mut Option<&mut Timings>, key: &str, start: Instant) {
+    if let Some(t) = timings.as_deref_mut() {
+        t.record(key, start.elapsed());
+    }
+}
 
 /// One rule violation, anchored to `file:line`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -73,6 +106,15 @@ impl Report {
 /// linted too) — under `root` and return the sorted report. `root` is the
 /// workspace root (the directory containing `crates/`).
 pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    scan_workspace_timed(root, None)
+}
+
+/// [`scan_workspace`] with optional per-rule/per-stage wall-time
+/// accounting accumulated into `timings`.
+pub fn scan_workspace_timed(
+    root: &Path,
+    mut timings: Option<&mut Timings>,
+) -> Result<Report, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
@@ -112,7 +154,11 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
                 rel_path: &rel,
                 is_bin,
             };
-            analyses.push(rules::analyze_source(&ctx, &src));
+            analyses.push(rules::analyze_source_timed(
+                &ctx,
+                &src,
+                timings.as_deref_mut(),
+            ));
         }
     }
     let files_scanned = analyses.len();
@@ -122,7 +168,7 @@ pub fn scan_workspace(root: &Path) -> Result<Report, String> {
         .iter_mut()
         .flat_map(|fa| std::mem::take(&mut fa.findings))
         .collect();
-    findings.extend(callgraph::global_findings(&analyses));
+    findings.extend(callgraph::global_findings_timed(&analyses, timings));
     findings.sort();
     findings.dedup();
     Ok(Report {
@@ -222,16 +268,28 @@ pub fn render_json(report: &Report) -> String {
     render_json_with(report, None)
 }
 
-/// JSON report (schema 3) with optional baseline classification. Without a
+/// JSON report (schema 4) with optional baseline classification. Without a
 /// baseline every finding counts as new. `counts` carries every known rule
 /// (zero-filled), so per-rule trends diff cleanly across commits.
 pub fn render_json_with(report: &Report, ratchet: Option<&baseline::Classified>) -> String {
+    render_json_timed(report, ratchet, None)
+}
+
+/// [`render_json_with`] plus the optional schema-4 `timings_ms` block:
+/// per-rule/per-stage wall time in whole milliseconds, with a derived
+/// `total`. Omitted entirely when `timings` is `None`, keeping the
+/// timing-free output stable for byte-identity tests.
+pub fn render_json_timed(
+    report: &Report,
+    ratchet: Option<&baseline::Classified>,
+    timings: Option<&Timings>,
+) -> String {
     let (baselined, fresh) = match ratchet {
         Some(c) => (c.baselined(), c.fresh()),
         None => (0, report.findings.len()),
     };
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": 3,");
+    let _ = writeln!(out, "  \"schema\": 4,");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(out, "  \"total_findings\": {},", report.findings.len());
     let _ = writeln!(out, "  \"baselined_findings\": {baselined},");
@@ -251,6 +309,21 @@ pub fn render_json_with(report: &Report, ratchet: Option<&baseline::Classified>)
     } else {
         "\n  },\n"
     });
+    if let Some(t) = timings {
+        out.push_str("  \"timings_ms\": {");
+        let mut rows: Vec<(String, u128)> = t
+            .entries
+            .iter()
+            .map(|(k, d)| (k.clone(), d.as_millis()))
+            .collect();
+        rows.push(("total".to_string(), t.total().as_millis()));
+        rows.sort();
+        for (i, (key, ms)) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            let _ = write!(out, "\n    {}: {ms}{sep}", json_str(key));
+        }
+        out.push_str("\n  },\n");
+    }
     out.push_str("  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
         let sep = if i + 1 < report.findings.len() {

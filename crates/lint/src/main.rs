@@ -2,18 +2,25 @@
 //!
 //! ```text
 //! fedlint [--deny] [--json] [--root <dir>] [--baseline <file>] [--update-baseline]
+//!         [--rules <comma-list>] [--explain <rule>]
 //! ```
 //!
 //! * `--deny` — exit nonzero if any *new* finding (or malformed pragma)
 //!   remains; with `--baseline`, baselined findings only warn.
-//! * `--json` — print the JSON report (schema 3) to stdout and also write it
-//!   to `<root>/results/lint_report.json` for trend tracking.
+//! * `--json` — print the JSON report (schema 4, including per-rule
+//!   `timings_ms`) to stdout and also write it to
+//!   `<root>/results/lint_report.json` for trend tracking.
 //! * `--baseline <file>` — ratchet file, resolved relative to the workspace
 //!   root; findings whose `(file, rule, message)` appear in it are
 //!   *baselined* (warn), everything else is *new* (fails `--deny`). A
 //!   missing baseline file is treated as empty: every finding is new.
 //! * `--update-baseline` — rewrite the baseline from the current scan,
 //!   sorted and byte-deterministic, then exit successfully.
+//! * `--rules <comma-list>` — keep only findings of the listed rules, for
+//!   fast focused runs; every name must be a known rule.
+//! * `--explain <rule>` — print the rule's documentation
+//!   ([`lint::rules::RULE_DOCS`], the same table behind the README rule
+//!   list) and exit.
 //! * `--root` — workspace root; defaults to walking up from the current
 //!   directory until `Cargo.toml` + `crates/` are found.
 
@@ -35,12 +42,38 @@ fn write_atomic(target: &Path, bytes: &[u8]) -> std::io::Result<()> {
     std::fs::rename(&tmp, target)
 }
 
+/// The `--explain` text for `rule`, or `None` for an unknown rule. Split
+/// from `main` so the unit tests cover it directly.
+fn explain_rule(rule: &str) -> Option<String> {
+    lint::rules::RULE_DOCS
+        .iter()
+        .find(|(name, _)| *name == rule)
+        .map(|(name, doc)| format!("{name}\n\n{doc}\n"))
+}
+
+/// Parse and validate a `--rules` comma-list against the known rule names
+/// (including `pragma-syntax`). Returns the selected names or the first
+/// unknown one as the error.
+fn parse_rules_filter(list: &str) -> Result<Vec<String>, String> {
+    let mut rules = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if !lint::rules::RULE_NAMES.contains(&name) && name != "pragma-syntax" {
+            return Err(name.to_string());
+        }
+        if !rules.iter().any(|r| r == name) {
+            rules.push(name.to_string());
+        }
+    }
+    Ok(rules)
+}
+
 fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut update_baseline = false;
+    let mut rules_filter: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -61,10 +94,50 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--explain" => match args.next() {
+                Some(rule) => match explain_rule(&rule) {
+                    Some(text) => {
+                        print!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "fedlint: unknown rule `{rule}`; known rules: {}, pragma-syntax",
+                            lint::rules::RULE_NAMES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("fedlint: --explain needs a rule argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => match args.next() {
+                Some(list) => match parse_rules_filter(&list) {
+                    Ok(rules) if !rules.is_empty() => rules_filter = Some(rules),
+                    Ok(_) => {
+                        eprintln!("fedlint: --rules needs at least one rule name");
+                        return ExitCode::from(2);
+                    }
+                    Err(unknown) => {
+                        eprintln!(
+                            "fedlint: unknown rule `{unknown}` in --rules; known rules: {}, \
+                             pragma-syntax",
+                            lint::rules::RULE_NAMES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("fedlint: --rules needs a comma-separated list argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: fedlint [--deny] [--json] [--root <dir>] [--baseline <file>] \
-                     [--update-baseline]"
+                     [--update-baseline] [--rules <comma-list>] [--explain <rule>]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -91,8 +164,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match lint::scan_workspace(&root) {
-        Ok(r) => r,
+    // Timings feed the schema-4 `timings_ms` block; only --json consumes
+    // them, keeping the human/--deny output timing-free and byte-identical.
+    let mut timings = lint::Timings::default();
+    let report = match lint::scan_workspace_timed(&root, json.then_some(&mut timings)) {
+        Ok(mut r) => {
+            if let Some(rules) = &rules_filter {
+                r.findings.retain(|f| rules.iter().any(|k| k == f.rule));
+            }
+            r
+        }
         Err(e) => {
             eprintln!("fedlint: {e}");
             return ExitCode::from(2);
@@ -148,7 +229,7 @@ fn main() -> ExitCode {
     };
 
     if json {
-        let rendered = lint::render_json_with(&report, classified.as_ref());
+        let rendered = lint::render_json_timed(&report, classified.as_ref(), Some(&timings));
         print!("{rendered}");
         let results_dir = root.join("results");
         let target = results_dir.join("lint_report.json");
@@ -170,4 +251,34 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{explain_rule, parse_rules_filter};
+
+    #[test]
+    fn explain_knows_every_rule_and_rejects_unknown_ones() {
+        for rule in lint::rules::RULE_NAMES {
+            let text = explain_rule(rule).expect(rule);
+            assert!(text.starts_with(rule), "{text}");
+            assert!(text.len() > rule.len() + 40, "doc for {rule} too short");
+        }
+        assert!(explain_rule("pragma-syntax").is_some());
+        assert!(explain_rule("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn rules_filter_parses_validates_and_dedups() {
+        assert_eq!(
+            parse_rules_filter("float-eq, lock-order-global ,float-eq").unwrap(),
+            vec!["float-eq".to_string(), "lock-order-global".to_string()]
+        );
+        assert_eq!(parse_rules_filter("pragma-syntax").unwrap().len(), 1);
+        assert_eq!(parse_rules_filter(",,").unwrap(), Vec::<String>::new());
+        assert_eq!(
+            parse_rules_filter("float-eq,bogus"),
+            Err("bogus".to_string())
+        );
+    }
 }

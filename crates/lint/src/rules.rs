@@ -16,7 +16,10 @@
 //! | `rng-stream-collision` | stream labels unique; one stream per scope ([`crate::callgraph`]) |
 //! | `untrusted-input-taint` | input-derived lengths are checked before arith/index/alloc ([`crate::dataflow`]) |
 //! | `determinism-taint` | nondeterministic values never flow into replayed state ([`crate::dataflow`]) |
-//! | `pool-discipline` | the vendored pool's atomics, lock order, and `unsafe impl`s follow protocol ([`crate::dataflow`]) |
+//! | `pool-discipline` | the vendored pool's atomics and `unsafe impl`s follow protocol ([`crate::dataflow`]) |
+//! | `lock-order-global` | the workspace-global lock acquisition order is cycle-free ([`crate::concurrency`]) |
+//! | `guard-across-blocking` | no lock guard is held across a blocking operation ([`crate::concurrency`]) |
+//! | `atomic-ordering-pairing` | release/acquire atomic sides pair up across the workspace ([`crate::concurrency`]) |
 //!
 //! Exemptions are granted per line by a pragma comment:
 //! `// fedlint::allow(<rule>): <reason>` — the reason is mandatory, and the
@@ -30,13 +33,16 @@ use crate::lexer::{lex, TokKind, Token};
 use crate::Finding;
 
 /// Rule identifiers, sorted, as accepted by the allow pragma.
-pub const RULE_NAMES: [&str; 13] = [
+pub const RULE_NAMES: [&str; 16] = [
+    "atomic-ordering-pairing",
     "atomic-write-discipline",
     "codec-checked-arith",
     "determinism-taint",
     "deterministic-iteration",
     "deterministic-reduction",
     "float-eq",
+    "guard-across-blocking",
+    "lock-order-global",
     "no-panic-paths",
     "panic-reachability",
     "pool-discipline",
@@ -44,6 +50,112 @@ pub const RULE_NAMES: [&str; 13] = [
     "rng-stream-discipline",
     "unsafe-needs-safety-comment",
     "untrusted-input-taint",
+];
+
+/// One `--explain` entry: the rule name and its documentation text. This
+/// table is the single source for `fedlint --explain`, and the README rule
+/// list is tested against it (`tests/explain.rs`).
+pub const RULE_DOCS: [(&str, &str); 17] = [
+    (
+        "atomic-ordering-pairing",
+        "Every Release/AcqRel store side on an atomic field must have a matching \
+         Acquire/AcqRel/SeqCst load side on the same field at some other non-test site in the \
+         workspace, and vice versa — a release edge with no acquire (or the reverse) \
+         synchronizes nothing and usually marks a missing or misordered partner. SeqCst \
+         satisfies either side without demanding one; Relaxed is pool-discipline's business \
+         (justification pragma).",
+    ),
+    (
+        "atomic-write-discipline",
+        "Persisted state must be written atomically: tmp file, write, fsync, rename. A bare \
+         write to the final path can be torn by a crash and break replay/recovery.",
+    ),
+    (
+        "codec-checked-arith",
+        "Codec (wire encode/decode) regions must use checked arithmetic and checked indexing \
+         (`.get(…)`): attacker-controlled lengths must not be able to overflow or panic.",
+    ),
+    (
+        "determinism-taint",
+        "Nondeterministic sources (wall clock, hasher state, thread ids, env) must not flow \
+         into replayed state in the deterministic crates; bit-identical replay is the \
+         workspace's core guarantee.",
+    ),
+    (
+        "deterministic-iteration",
+        "No hasher-ordered containers (HashMap/HashSet iteration) on replayed paths in the \
+         deterministic crates; use BTreeMap/BTreeSet or sort first.",
+    ),
+    (
+        "deterministic-reduction",
+        "No fold/reduce during parallel iteration: float addition is not associative, so \
+         reduction order must be fixed (indexed writes, then a sequential fold).",
+    ),
+    (
+        "float-eq",
+        "No exact float equality (`==`/`!=` on floats) without an explicit waiver; almost-equal \
+         comparisons must use an epsilon or bit-exact intent must be documented.",
+    ),
+    (
+        "guard-across-blocking",
+        "No Mutex/RwLock guard may be live across a blocking operation — socket \
+         read/write/accept/flush, channel recv, thread::sleep/park, pool job submission, or a \
+         Condvar wait on a different mutex (the wait's own guard is exempt: the condvar \
+         releases it atomically). Interprocedural: holding a guard across a call whose callee \
+         (transitively) blocks is reported with the full file:line chain.",
+    ),
+    (
+        "lock-order-global",
+        "The workspace-global lock acquisition-order graph must be cycle-free. Lock identity \
+         is tracked by declaration site; held-lock sets propagate along the call graph to a \
+         fixpoint, so a lock acquired in one file and held across calls into another still \
+         produces edges. Every edge on a cycle is reported with the full acquisition chain \
+         (lock A at file:line -> call f -> lock B at file:line), and re-acquiring a held lock \
+         (directly or through a call chain) is a self-deadlock finding.",
+    ),
+    (
+        "no-panic-paths",
+        "Library code of the core crates must not panic: no unwrap/expect/panic!/indexing \
+         where a checked alternative exists. Binaries and tests are exempt.",
+    ),
+    (
+        "panic-reachability",
+        "Public library functions of the panic-free crates must not transitively reach a \
+         panic site through the workspace call graph.",
+    ),
+    (
+        "pool-discipline",
+        "The vendored thread pool's concurrency protocol: every Ordering::Relaxed needs a \
+         justification pragma stating why reordering is harmless, and every `unsafe impl \
+         Send/Sync` needs a SAFETY comment. (The v3 per-file lock-order check is superseded \
+         by the interprocedural lock-order-global rule.)",
+    ),
+    (
+        "pragma-syntax",
+        "A malformed `// fedlint::allow(<rule>): <reason>` pragma — unknown rule name or \
+         missing reason — is itself a finding and suppresses nothing, so a typo cannot \
+         silently disable a rule.",
+    ),
+    (
+        "rng-stream-collision",
+        "RNG stream labels must be unique workspace-wide and each scope must draw from one \
+         stream; collisions correlate supposedly-independent randomness.",
+    ),
+    (
+        "rng-stream-discipline",
+        "RNGs must be constructed from named `streams::` label constants (not ad-hoc seeds) \
+         so every random draw is attributable and replayable.",
+    ),
+    (
+        "unsafe-needs-safety-comment",
+        "Every `unsafe` block or impl needs a `// SAFETY:` comment documenting the invariant \
+         that makes it sound.",
+    ),
+    (
+        "untrusted-input-taint",
+        "Lengths and counts decoded from untrusted input must be bounds-checked before they \
+         reach arithmetic, indexing, or allocation (dataflow taint over the decoder).",
+    ),
 ];
 
 /// Crates whose library code must be panic-free (`no-panic-paths`).
@@ -125,6 +237,17 @@ impl FileAnalysis {
 /// Run every local rule over one file; the returned analysis carries the
 /// findings plus the structure the global pass consumes.
 pub fn analyze_source(ctx: &FileContext<'_>, src: &str) -> FileAnalysis {
+    analyze_source_timed(ctx, src, None)
+}
+
+/// [`analyze_source`] with optional per-rule wall-time accounting.
+pub fn analyze_source_timed(
+    ctx: &FileContext<'_>,
+    src: &str,
+    mut timings: Option<&mut crate::Timings>,
+) -> FileAnalysis {
+    use std::time::Instant;
+    let start = Instant::now();
     let tokens = lex(src);
     let code_owned: Vec<Token> = tokens
         .iter()
@@ -135,17 +258,41 @@ pub fn analyze_source(ctx: &FileContext<'_>, src: &str) -> FileAnalysis {
     let info = line_info(src, &tokens, &code);
     let pragmas = collect_pragmas(&tokens);
     let items = parse_items(&code_owned, &info.in_test);
+    crate::record_elapsed(&mut timings, "infra:parse", start);
 
+    type RuleFn<'a> = &'a dyn Fn(&mut Vec<Finding>);
     let mut findings = Vec::new();
-    rule_unsafe_safety(ctx, &code, &info, &mut findings);
-    rule_deterministic_iteration(ctx, &code, &info, &mut findings);
-    rule_deterministic_reduction(ctx, &code, &info, &mut findings);
-    rule_no_panic_paths(ctx, &code, &info, &mut findings);
-    rule_rng_stream_discipline(ctx, &code, &info, &mut findings);
-    rule_float_eq(ctx, &code, &info, &mut findings);
+    let timed_rules: [(&str, RuleFn); 6] = [
+        ("unsafe-needs-safety-comment", &|f| {
+            rule_unsafe_safety(ctx, &code, &info, f)
+        }),
+        ("deterministic-iteration", &|f| {
+            rule_deterministic_iteration(ctx, &code, &info, f)
+        }),
+        ("deterministic-reduction", &|f| {
+            rule_deterministic_reduction(ctx, &code, &info, f)
+        }),
+        ("no-panic-paths", &|f| {
+            rule_no_panic_paths(ctx, &code, &info, f)
+        }),
+        ("rng-stream-discipline", &|f| {
+            rule_rng_stream_discipline(ctx, &code, &info, f)
+        }),
+        ("float-eq", &|f| rule_float_eq(ctx, &code, &info, f)),
+    ];
+    for (key, rule) in timed_rules {
+        let start = Instant::now();
+        rule(&mut findings);
+        crate::record_elapsed(&mut timings, key, start);
+    }
+    let start = Instant::now();
     rule_codec_checked_arith(ctx, &code_owned, &items, &mut findings);
+    crate::record_elapsed(&mut timings, "codec-checked-arith", start);
+    let start = Instant::now();
     rule_atomic_write(ctx, &code_owned, &items, &mut findings);
+    crate::record_elapsed(&mut timings, "atomic-write-discipline", start);
     let safety_ok = |line: u32| safety_reachable(&info, line);
+    let start = Instant::now();
     crate::dataflow::pool_discipline(
         ctx.rel_path,
         &code_owned,
@@ -154,6 +301,7 @@ pub fn analyze_source(ctx: &FileContext<'_>, src: &str) -> FileAnalysis {
         &safety_ok,
         &mut findings,
     );
+    crate::record_elapsed(&mut timings, "pool-discipline", start);
 
     // Apply pragma suppression: a valid pragma covers its line and the next.
     findings.retain(|f| {

@@ -112,8 +112,17 @@ fn positive_fixture_pins_exact_lines_for_dataflow_rules() {
         vec![11, 12, 16]
     );
     assert_eq!(lines("determinism-taint", "taint_time.rs"), vec![11, 24]);
+    assert_eq!(lines("pool-discipline", "pool_bad.rs"), vec![13, 16]);
+    // v4 concurrency rules.
+    assert_eq!(lines("lock-order-global", "pool_bad.rs"), vec![21, 27]);
+    assert_eq!(lines("lock-order-global", "conc_cycle_a.rs"), vec![13]);
+    assert_eq!(lines("lock-order-global", "conc_cycle_b.rs"), vec![14]);
     assert_eq!(
-        lines("pool-discipline", "pool_bad.rs"),
-        vec![13, 16, 21, 27]
+        lines("guard-across-blocking", "conc_block.rs"),
+        vec![14, 20]
+    );
+    assert_eq!(
+        lines("atomic-ordering-pairing", "conc_atomic.rs"),
+        vec![12, 16]
     );
 }

@@ -1,0 +1,44 @@
+//! `--explain` backing table: RULE_DOCS must cover every rule exactly
+//! once, stay sorted (deterministic `--explain` listing order), and agree
+//! with the README rule list so the two cannot drift apart.
+
+use lint::rules::{RULE_DOCS, RULE_NAMES};
+
+#[test]
+fn rule_docs_cover_every_rule_plus_pragma_syntax_exactly_once() {
+    let doc_names: Vec<&str> = RULE_DOCS.iter().map(|(name, _)| *name).collect();
+    let mut expected: Vec<&str> = RULE_NAMES.to_vec();
+    expected.push("pragma-syntax");
+    expected.sort_unstable();
+    assert_eq!(doc_names, expected);
+}
+
+#[test]
+fn rule_docs_are_sorted_and_substantive() {
+    let mut sorted = RULE_DOCS.to_vec();
+    sorted.sort_by_key(|(name, _)| *name);
+    assert_eq!(RULE_DOCS.to_vec(), sorted, "RULE_DOCS must stay sorted");
+    for (name, doc) in RULE_DOCS {
+        assert!(
+            doc.len() > 60,
+            "doc for {name} is too short to be useful: {doc:?}"
+        );
+    }
+}
+
+#[test]
+fn readme_rule_list_matches_rule_names() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+        .expect("read README.md");
+    for rule in RULE_NAMES {
+        assert!(
+            readme.contains(rule),
+            "README rule list is missing `{rule}` — it must stay in sync with RULE_NAMES"
+        );
+    }
+    assert!(
+        readme.contains(&format!("{} rules", RULE_NAMES.len())),
+        "README must state the rule count ({} rules)",
+        RULE_NAMES.len()
+    );
+}

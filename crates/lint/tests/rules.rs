@@ -91,8 +91,86 @@ fn positive_fixture_fires_every_rule() {
     );
     assert_eq!(
         lines_for(&report, "pool-discipline", "pool_bad.rs"),
-        vec![13, 16, 21, 27],
-        "unjustified unsafe impl Send, naked Relaxed, both halves of a lock cycle"
+        vec![13, 16],
+        "unjustified unsafe impl Send and naked Relaxed"
+    );
+    // v4 interprocedural concurrency rules.
+    assert_eq!(
+        lines_for(&report, "lock-order-global", "pool_bad.rs"),
+        vec![21, 27],
+        "both halves of the same-file reversed lock pair"
+    );
+    assert_eq!(
+        lines_for(&report, "lock-order-global", "conc_cycle_a.rs"),
+        vec![13],
+        "the call site that acquires beta while alpha is held"
+    );
+    assert_eq!(
+        lines_for(&report, "lock-order-global", "conc_cycle_b.rs"),
+        vec![14],
+        "the call site that closes the cycle in the other file"
+    );
+    assert_eq!(
+        lines_for(&report, "guard-across-blocking", "conc_block.rs"),
+        vec![14, 20],
+        "direct sleep under a guard, and a call whose callee writes a socket"
+    );
+    assert_eq!(
+        lines_for(&report, "atomic-ordering-pairing", "conc_atomic.rs"),
+        vec![12, 16],
+        "unpaired Release store and unpaired Acquire load"
+    );
+}
+
+#[test]
+fn concurrency_findings_carry_full_interprocedural_chains() {
+    let report = scan("positive");
+    let cycle = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "lock-order-global" && f.file.ends_with("conc_cycle_a.rs"))
+        .expect("cross-file cycle finding present");
+    assert!(
+        cycle
+            .message
+            .contains("`alpha` is held while acquiring `beta`"),
+        "cycle must name both locks: {}",
+        cycle.message
+    );
+    assert!(
+        cycle.message.contains(
+            "lock `alpha` at vendor/rayon/src/conc_cycle_a.rs:12 -> \
+             call `grab_beta` at vendor/rayon/src/conc_cycle_a.rs:13 -> \
+             lock `beta` at vendor/rayon/src/conc_cycle_b.rs:8"
+        ),
+        "cycle must spell out the full cross-file acquisition chain: {}",
+        cycle.message
+    );
+    let blocked = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "guard-across-blocking" && f.line == 20)
+        .expect("transitive blocking finding present");
+    assert!(
+        blocked.message.contains(
+            "lock `journal` at vendor/rayon/src/conc_block.rs:19 -> \
+             call `ship` at vendor/rayon/src/conc_block.rs:20 -> \
+             `write_all` at vendor/rayon/src/conc_block.rs:25"
+        ),
+        "blocking chain must reach the socket write with file:line hops: {}",
+        blocked.message
+    );
+    let atomic = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "atomic-ordering-pairing" && f.line == 12)
+        .expect("unpaired release finding present");
+    assert!(
+        atomic
+            .message
+            .contains("`ready.store` stores with `Ordering::Release`"),
+        "pairing finding must name the field, op, and ordering: {}",
+        atomic.message
     );
 }
 
@@ -165,7 +243,7 @@ fn negative_fixture_is_clean() {
         Vec::new(),
         "negative fixture must scan clean"
     );
-    assert_eq!(report.files_scanned, 9);
+    assert_eq!(report.files_scanned, 12);
 }
 
 #[test]
@@ -301,15 +379,58 @@ fn seeded_reversed_lock_pair_is_caught() {
     .expect("write seeded violation");
     let report = scan_workspace(&scratch).expect("scratch scans");
     std::fs::remove_dir_all(&scratch).ok();
-    let hits = lines_for(&report, "pool-discipline", "queue.rs");
+    let hits = lines_for(&report, "lock-order-global", "queue.rs");
     assert_eq!(hits, vec![10, 16], "both halves of the reversed pair");
     let human = lint::render_human(&report);
     assert!(
-        human.contains("vendor/rayon/src/queue.rs:10: [pool-discipline]"),
+        human.contains("vendor/rayon/src/queue.rs:10: [lock-order-global]"),
         "diagnostic must carry file:line and the rule name:\n{human}"
     );
     assert!(
         human.contains("`head` is held while acquiring `tail`"),
         "diagnostic must name the cycle:\n{human}"
+    );
+    assert!(
+        human.contains(
+            "lock `head` at vendor/rayon/src/queue.rs:9 -> \
+             lock `tail` at vendor/rayon/src/queue.rs:10"
+        ),
+        "diagnostic must carry the full acquisition chain:\n{human}"
+    );
+}
+
+#[test]
+fn seeded_guard_across_socket_write_is_caught_with_chain() {
+    // Acceptance criterion: a guard held across a call whose callee writes
+    // to a socket must fail with the exact file:line chain.
+    let scratch = std::env::temp_dir().join(format!("fedlint-block-{}", std::process::id()));
+    std::fs::create_dir_all(scratch.join("crates")).expect("scratch tree");
+    let src = scratch.join("vendor").join("rayon").join("src");
+    std::fs::create_dir_all(&src).expect("scratch vendor tree");
+    std::fs::write(
+        src.join("link.rs"),
+        "use std::io::Write;\nuse std::sync::Mutex;\n\npub struct Link {\n    \
+         pub meta: Mutex<u64>,\n}\n\npub fn send(l: &Link, out: &mut std::net::TcpStream) {\n    \
+         let g = l.meta.lock().unwrap();\n    push_frame(out);\n    drop(g);\n}\n\n\
+         fn push_frame(out: &mut std::net::TcpStream) {\n    \
+         let _ = out.write_all(b\"x\");\n}\n",
+    )
+    .expect("write seeded violation");
+    let report = scan_workspace(&scratch).expect("scratch scans");
+    std::fs::remove_dir_all(&scratch).ok();
+    let hits = lines_for(&report, "guard-across-blocking", "link.rs");
+    assert_eq!(hits, vec![10], "the call site holding the guard");
+    let human = lint::render_human(&report);
+    assert!(
+        human.contains("vendor/rayon/src/link.rs:10: [guard-across-blocking]"),
+        "diagnostic must carry file:line and the rule name:\n{human}"
+    );
+    assert!(
+        human.contains(
+            "lock `meta` at vendor/rayon/src/link.rs:9 -> \
+             call `push_frame` at vendor/rayon/src/link.rs:10 -> \
+             `write_all` at vendor/rayon/src/link.rs:15"
+        ),
+        "diagnostic must carry the full interprocedural chain:\n{human}"
     );
 }

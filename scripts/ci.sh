@@ -16,8 +16,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== fedlint =="
 # Scans crates/*/src plus vendor/*/src (pool-discipline audits the
 # hand-rolled rayon pool); the coverage meta-test then proves every
-# registered rule has positive and negative fixtures.
+# registered rule has positive and negative fixtures. The workspace-global
+# lock-set fixpoint (v4) must stay cheap enough to gate every PR, so the
+# scan gets a generous-but-real wall-time budget.
+lint_budget_s=120
+lint_start=$(date +%s)
 cargo run -q -p lint --release -- --deny --baseline results/lint_baseline.json
+lint_elapsed=$(($(date +%s) - lint_start))
+echo "fedlint: --deny completed in ${lint_elapsed}s (budget ${lint_budget_s}s)"
+if [ "$lint_elapsed" -ge "$lint_budget_s" ]; then
+    echo "fedlint: workspace scan blew its ${lint_budget_s}s budget — the lock-set engine (or a rule) has a perf regression" >&2
+    exit 1
+fi
 cargo test -q -p lint --test coverage
 
 echo "== tests =="
@@ -52,6 +62,13 @@ echo "== thread equivalence =="
 FEDCLUST_THREADS=1 cargo test -q --test thread_equivalence
 FEDCLUST_THREADS=4 cargo test -q --test thread_equivalence
 cargo test -q -p rayon
+
+echo "== thread sanitizer (best effort) =="
+# Dynamic double-check of the pool and wire suites when a nightly
+# toolchain with TSan support is available; exits 0 with a skip message
+# otherwise, and never gates the pipeline either way — fedlint's static
+# concurrency rules are the gate.
+scripts/tsan.sh || echo "tsan: failed (non-gating)"
 
 echo "== quick benchmarks =="
 scripts/bench_quick.sh

@@ -1,0 +1,111 @@
+//! Schedule-stress: deterministic pool-hammer over seeded job mixes.
+//!
+//! The pool's contract (DESIGN.md §7) is that scheduling order may vary
+//! freely but observable results may not: every job runs exactly once, and
+//! float outputs written by index are bit-identical at any thread count.
+//! These tests hammer `run_indexed` and `join` with seeded job mixes at
+//! 1/2/4/7 threads and assert both properties — covering exactly the code
+//! paths the fedlint v4 concurrency rules reason about (queue mutex,
+//! condvar hand-off, ticket atomics).
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Serializes tests that touch the global thread-count knob. (The pool's
+/// own `config_guard` is crate-private, so integration tests carry their
+/// own.)
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn config_lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Deterministic 64-bit LCG (Knuth constants) — the test's only source of
+/// "randomness", so every mix replays bit-identically.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Per-job float churn: a few dozen fused multiply-adds parameterized only
+/// by the job index and its seeded weight. Identical on every thread.
+fn churn(i: usize, weight: u64) -> f32 {
+    let mut x = (i as f32).mul_add(0.12345, 1.0);
+    for k in 0..(weight % 61 + 3) {
+        x = x.mul_add(1.000_011_9, (k as f32) * 1.5e-4);
+    }
+    x
+}
+
+/// Run one seeded mix at `threads`, returning (per-slot bits, per-slot run
+/// counts). Slots are written by index (the deterministic-reduction
+/// discipline) so the later sequential fold is order-fixed.
+fn run_mix(seed: u64, jobs: usize, threads: usize) -> (Vec<u32>, Vec<usize>) {
+    let mut state = seed;
+    let weights: Vec<u64> = (0..jobs).map(|_| lcg(&mut state) >> 16).collect();
+    let slots: Vec<AtomicU32> = (0..jobs).map(|_| AtomicU32::new(0)).collect();
+    let counts: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+    rayon::set_num_threads(threads);
+    rayon::pool::run_indexed(jobs, |i| {
+        let v = churn(i, weights[i]);
+        slots[i].store(v.to_bits(), Ordering::SeqCst);
+        counts[i].fetch_add(1, Ordering::SeqCst);
+    });
+    (
+        slots.iter().map(|s| s.load(Ordering::SeqCst)).collect(),
+        counts.iter().map(|c| c.load(Ordering::SeqCst)).collect(),
+    )
+}
+
+#[test]
+fn seeded_mixes_run_exactly_once_with_bit_identical_sums() {
+    let _g = config_lock();
+    for (seed, jobs) in [(0x5EED_0001u64, 64), (0x5EED_0002, 97), (0x5EED_0003, 130)] {
+        let (baseline_bits, baseline_counts) = run_mix(seed, jobs, 1);
+        assert!(
+            baseline_counts.iter().all(|&c| c == 1),
+            "seed {seed:#x}: single-thread run must execute every job exactly once"
+        );
+        // The order-fixed fold over indexed slots — the sum the workspace's
+        // deterministic-reduction rule mandates.
+        let baseline_sum: f32 = baseline_bits.iter().map(|&b| f32::from_bits(b)).sum();
+        for threads in [2, 4, 7] {
+            let (bits, counts) = run_mix(seed, jobs, threads);
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "seed {seed:#x} at {threads} threads: every job must run exactly once, got {counts:?}"
+            );
+            assert_eq!(
+                bits, baseline_bits,
+                "seed {seed:#x} at {threads} threads: per-slot float bits must be identical"
+            );
+            let sum: f32 = bits.iter().map(|&b| f32::from_bits(b)).sum();
+            assert_eq!(
+                sum.to_bits(),
+                baseline_sum.to_bits(),
+                "seed {seed:#x} at {threads} threads: fold must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn join_results_are_bit_identical_across_thread_counts() {
+    let _g = config_lock();
+    let halves = |jobs: usize| {
+        rayon::join(
+            || (0..jobs).map(|i| churn(i, 7)).sum::<f32>(),
+            || (jobs..2 * jobs).map(|i| churn(i, 11)).sum::<f32>(),
+        )
+    };
+    rayon::set_num_threads(1);
+    let (a1, b1) = halves(53);
+    for threads in [2, 4, 7] {
+        rayon::set_num_threads(threads);
+        let (a, b) = halves(53);
+        assert_eq!(a.to_bits(), a1.to_bits(), "{threads} threads: left half");
+        assert_eq!(b.to_bits(), b1.to_bits(), "{threads} threads: right half");
+    }
+}
